@@ -1,0 +1,32 @@
+// Table 1 reproduction: applications, data sets, sequential execution
+// times, and 8-processor speedups with the hardware page (4 KB) as the
+// consistency unit.
+//
+// Absolute seconds are modelled virtual time on scaled-down datasets
+// (DESIGN.md §5), so they differ from the paper's 166 MHz cluster; the
+// reproduced quantity is the speedup band (the paper reports 4.1–6.5).
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  std::printf("Table 1: sequential times and 8-processor speedups (4K)\n\n");
+  std::printf("%-8s %-12s %10s %10s %9s\n", "Program", "Input", "SeqTime(s)",
+              "8pTime(s)", "Speedup");
+
+  const dsm::bench::ConfigPoint page{"4K", dsm::AggregationMode::kStatic, 1};
+  for (const auto& spec : dsm::apps::AllSpecs()) {
+    auto seq_app = dsm::apps::MakeApp(spec.app, spec.dataset);
+    const dsm::apps::AppRun seq = dsm::apps::ExecuteSequential(
+        *seq_app, dsm::bench::MakeRuntimeConfig(page));
+    auto par_app = dsm::apps::MakeApp(spec.app, spec.dataset);
+    const dsm::apps::AppRun par =
+        dsm::apps::Execute(*par_app, dsm::bench::MakeRuntimeConfig(page));
+
+    std::printf("%-8s %-12s %10.3f %10.3f %9.2f\n", spec.app.c_str(),
+                spec.dataset.c_str(), seq.stats.exec_seconds(),
+                par.stats.exec_seconds(),
+                seq.stats.exec_seconds() / par.stats.exec_seconds());
+  }
+  return 0;
+}

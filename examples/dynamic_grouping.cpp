@@ -1,0 +1,65 @@
+// Dynamic aggregation under a changing access pattern (paper §4).
+//
+// Phase A repeats a scattered 4-page access pattern: the dynamic scheme
+// learns it and fetches the (non-contiguous!) group with one fault.
+// Phase B switches to a different pattern: the scheme pays one interval of
+// hysteresis, splits the stale groups, and learns the new pattern.
+//
+//   $ ./examples/dynamic_grouping
+#include <cstdio>
+
+#include "core/runtime.h"
+
+int main() {
+  dsm::RuntimeConfig cfg;
+  cfg.num_procs = 2;
+  cfg.heap_bytes = 1u << 20;
+  cfg.aggregation = dsm::AggregationMode::kDynamic;
+  cfg.max_group_pages = 4;
+
+  dsm::Runtime rt(cfg);
+  const std::size_t per_page = dsm::kBasePageBytes / sizeof(int);
+  auto pages = rt.AllocUnitAligned<int>(32 * per_page, "pages");
+
+  // Scattered, non-contiguous page sets.
+  const std::size_t pattern_a[] = {1, 9, 17, 25};
+  const std::size_t pattern_b[] = {2, 6, 30, 14};
+
+  rt.Run([&](dsm::Proc& p) {
+    auto round = [&](const std::size_t* pat, int iters) {
+      for (int it = 0; it < iters; ++it) {
+        if (p.id() == 0) {
+          for (int k = 0; k < 4; ++k) {
+            p.Write(pages, pat[k] * per_page, it + 1);
+          }
+        }
+        p.Barrier();
+        if (p.id() == 1) {
+          for (int k = 0; k < 4; ++k) {
+            (void)p.Read(pages, pat[k] * per_page);
+          }
+        }
+        p.Barrier();
+      }
+    };
+    round(pattern_a, 6);  // learn pattern A
+    round(pattern_b, 6);  // pattern change: hysteresis, then regroup
+  });
+
+  const dsm::RunStats stats = rt.CollectStats();
+  std::printf("dynamic aggregation over a changing scattered pattern\n");
+  std::printf("  read faults          : %llu\n",
+              (unsigned long long)stats.comm.read_faults);
+  std::printf("  group prefetches     : %llu\n",
+              (unsigned long long)stats.comm.group_prefetch_units);
+  std::printf("  silent validations   : %llu\n",
+              (unsigned long long)stats.comm.silent_validations);
+  std::printf("  data exchanges       : %llu\n",
+              (unsigned long long)(stats.comm.useful_messages +
+                                   stats.comm.useless_messages) / 2);
+  std::printf(
+      "\nWithout grouping this workload needs 4 exchanges per iteration;\n"
+      "with learned groups it needs 1 (all four diffs combined per "
+      "writer).\n");
+  return 0;
+}

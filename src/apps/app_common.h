@@ -1,0 +1,75 @@
+// Application framework: the common harness for the paper's 8-program
+// suite (§5.2).  Every application implements Application; benches and
+// tests drive any app at any consistency-unit configuration through
+// Execute().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runtime.h"
+
+namespace dsm::apps {
+
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  virtual const char* name() const = 0;
+  // Dataset label as the paper prints it (e.g. "1Kx1K").
+  virtual std::string dataset() const = 0;
+  // Shared-heap bytes this instance needs.
+  virtual std::size_t heap_bytes() const = 0;
+
+  // Allocate shared data (called once, before the parallel region).
+  virtual void Setup(Runtime& rt) = 0;
+  // The parallel body, executed by every logical processor.
+  virtual void Body(Proc& p) = 0;
+  // Verification value, available after the run completes.  Computed
+  // identically in sequential (num_procs = 1) and parallel runs.
+  virtual double result() const = 0;
+};
+
+struct AppRun {
+  RunStats stats;
+  double result = 0.0;
+};
+
+// Run `app` under `cfg` (cfg.heap_bytes is overridden by the app).
+AppRun Execute(Application& app, RuntimeConfig cfg);
+
+// Convenience: same app logic on one processor — the Table 1 baseline.
+AppRun ExecuteSequential(Application& app, RuntimeConfig cfg);
+
+// --- cross-proc reduction -----------------------------------------------
+// Per-processor slots padded to one VM page each, so that the reduction
+// adds the same (small) amount of end-of-phase sharing at every unit size.
+// Usage: Contribute() then Barrier() on all procs, then Sum() everywhere.
+class Reducer {
+ public:
+  Reducer() = default;
+
+  void Setup(Runtime& rt, const char* name);
+  void Contribute(Proc& p, double value);
+  // Sum of all contributions; call after a barrier.  Every caller reads
+  // all slots (the master-reads pattern of the paper's checksums).
+  double Sum(Proc& p) const;
+
+ private:
+  static constexpr std::size_t kStrideDoubles =
+      kBasePageBytes / sizeof(double);
+  SharedArray<double> slots_;
+  int nprocs_ = 0;
+};
+
+// Block partition helpers: rows/columns/indices [begin, end) for proc p.
+struct Range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+  bool contains(std::size_t i) const { return i >= begin && i < end; }
+};
+Range BlockRange(std::size_t n, int nprocs, int p);
+
+}  // namespace dsm::apps

@@ -1,0 +1,317 @@
+#include "apps/barnes.h"
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace dsm::apps {
+
+namespace {
+constexpr float kBoxHalf = 1.0f;  // bodies live in [-1, 1]^3
+}
+
+BarnesParams BarnesDataset(const std::string& label) {
+  if (label == "16K") return {"16K", 4096, 3};
+  if (label == "tiny") return {"tiny", 256, 2};
+  DSM_CHECK(false) << "unknown Barnes dataset " << label;
+  return {};
+}
+
+Barnes::Barnes(BarnesParams params) : params_(std::move(params)) {
+  max_cells_ = 4 * params_.num_bodies;
+}
+
+std::size_t Barnes::heap_bytes() const {
+  return params_.num_bodies * sizeof(BarnesBody) +
+         max_cells_ * sizeof(BarnesCell) + (64u << 10);
+}
+
+void Barnes::Setup(Runtime& rt) {
+  bodies_ = rt.AllocUnitAligned<BarnesBody>(params_.num_bodies, "bodies");
+  cells_ = rt.AllocUnitAligned<BarnesCell>(max_cells_, "cells");
+  tree_header_ = rt.AllocUnitAligned<std::int32_t>(
+      kBasePageBytes / sizeof(std::int32_t), "tree_header");
+  reducer_.Setup(rt, "barnes_check");
+}
+
+// Sequential tree construction by the master (paper: "the tree is
+// constructed sequentially by a master processor").  Reads every body's
+// position through the DSM; writes cells through the DSM.
+void Barnes::BuildTree(Proc& p) {
+  const std::size_t n = params_.num_bodies;
+
+  // Local snapshot of positions (the master's read of the whole region).
+  std::vector<std::array<float, 3>> pos(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const GlobalAddr a = bodies_.addr_of(i) + offsetof(BarnesBody, pos);
+    pos[i] = {p.ReadAt<float>(a), p.ReadAt<float>(a + 4),
+              p.ReadAt<float>(a + 8)};
+  }
+  std::vector<float> mass(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    mass[i] = p.ReadAt<float>(bodies_.addr_of(i) + offsetof(BarnesBody, mass));
+  }
+
+  // Build the octree in private memory first (cheap host-side), then
+  // publish it to shared memory in one pass — the master's single big
+  // write burst, just like SPLASH's sequential maketree.
+  struct LocalCell {
+    float center[3];
+    float half;
+    float com[3] = {0, 0, 0};
+    float mass = 0;
+    std::int32_t child[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+  };
+  std::vector<LocalCell> cells;
+  cells.reserve(2 * n);
+  cells.push_back({{0, 0, 0}, kBoxHalf, {0, 0, 0}, 0,
+                   {-1, -1, -1, -1, -1, -1, -1, -1}});
+
+  auto octant = [](const LocalCell& c, const std::array<float, 3>& q) {
+    int o = 0;
+    if (q[0] >= c.center[0]) o |= 1;
+    if (q[1] >= c.center[1]) o |= 2;
+    if (q[2] >= c.center[2]) o |= 4;
+    return o;
+  };
+  auto child_center = [](const LocalCell& c, int o) {
+    const float h = c.half * 0.5f;
+    return std::array<float, 3>{
+        c.center[0] + ((o & 1) != 0 ? h : -h),
+        c.center[1] + ((o & 2) != 0 ? h : -h),
+        c.center[2] + ((o & 4) != 0 ? h : -h)};
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t cur = 0;
+    for (;;) {
+      const int o = octant(cells[cur], pos[i]);
+      const std::int32_t c = cells[cur].child[o];
+      if (c == -1) {
+        cells[cur].child[o] = -static_cast<std::int32_t>(i) - 2;
+        break;
+      }
+      if (c >= 0) {
+        cur = static_cast<std::size_t>(c);
+        continue;
+      }
+      // Occupied by a body: split into a subcell.
+      const std::size_t other = static_cast<std::size_t>(-c - 2);
+      DSM_CHECK_LT(cells.size(), max_cells_) << "Barnes cell pool exhausted";
+      LocalCell sub;
+      const auto ctr = child_center(cells[cur], o);
+      sub.center[0] = ctr[0];
+      sub.center[1] = ctr[1];
+      sub.center[2] = ctr[2];
+      sub.half = cells[cur].half * 0.5f;
+      cells.push_back(sub);
+      const std::int32_t sub_idx = static_cast<std::int32_t>(cells.size() - 1);
+      cells[cur].child[o] = sub_idx;
+      cells[sub_idx].child[octant(cells[sub_idx], pos[other])] =
+          -static_cast<std::int32_t>(other) - 2;
+      cur = static_cast<std::size_t>(sub_idx);
+      // Loop continues: insert body i into the subcell (may split again).
+    }
+  }
+
+  // Centers of mass, bottom-up (children always have larger indices only
+  // for freshly split cells, so do an explicit post-order).
+  std::vector<std::int32_t> order;
+  order.reserve(cells.size());
+  std::vector<std::int32_t> stack{0};
+  while (!stack.empty()) {
+    const std::int32_t c = stack.back();
+    stack.pop_back();
+    order.push_back(c);
+    for (const std::int32_t ch : cells[static_cast<std::size_t>(c)].child) {
+      if (ch >= 0) stack.push_back(ch);
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    LocalCell& c = cells[static_cast<std::size_t>(*it)];
+    double m = 0, cx = 0, cy = 0, cz = 0;
+    for (const std::int32_t ch : c.child) {
+      if (ch == -1) continue;
+      float chm, chx, chy, chz;
+      if (ch >= 0) {
+        const LocalCell& sub = cells[static_cast<std::size_t>(ch)];
+        chm = sub.mass;
+        chx = sub.com[0];
+        chy = sub.com[1];
+        chz = sub.com[2];
+      } else {
+        const std::size_t b = static_cast<std::size_t>(-ch - 2);
+        chm = mass[b];
+        chx = pos[b][0];
+        chy = pos[b][1];
+        chz = pos[b][2];
+      }
+      m += chm;
+      cx += static_cast<double>(chm) * chx;
+      cy += static_cast<double>(chm) * chy;
+      cz += static_cast<double>(chm) * chz;
+    }
+    c.mass = static_cast<float>(m);
+    if (m > 0) {
+      c.com[0] = static_cast<float>(cx / m);
+      c.com[1] = static_cast<float>(cy / m);
+      c.com[2] = static_cast<float>(cz / m);
+    }
+  }
+  p.Compute(20 * n);  // modelled tree-build flops
+
+  // Publish to shared memory.
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    BarnesCell out{};
+    for (int k = 0; k < 3; ++k) {
+      out.center[k] = cells[c].center[k];
+      out.com[k] = cells[c].com[k];
+    }
+    out.half = cells[c].half;
+    out.mass = cells[c].mass;
+    for (int k = 0; k < 8; ++k) out.child[k] = cells[c].child[k];
+    p.Write(cells_, c, out);
+  }
+  p.Write(tree_header_, 0, static_cast<std::int32_t>(cells.size()));
+}
+
+void Barnes::ComputeForce(Proc& p, std::size_t i) {
+  const float theta2 = params_.theta * params_.theta;
+  const GlobalAddr my = bodies_.addr_of(i);
+  const float xi = p.ReadAt<float>(my + offsetof(BarnesBody, pos));
+  const float yi = p.ReadAt<float>(my + offsetof(BarnesBody, pos) + 4);
+  const float zi = p.ReadAt<float>(my + offsetof(BarnesBody, pos) + 8);
+
+  double ax = 0, ay = 0, az = 0, phi = 0;
+  std::uint64_t interactions = 0;
+
+  std::vector<std::int32_t> stack{0};
+  while (!stack.empty()) {
+    const std::int32_t nref = stack.back();
+    stack.pop_back();
+
+    float m, qx, qy, qz;
+    bool open = false;
+    if (nref >= 0) {
+      const GlobalAddr c = cells_.addr_of(static_cast<std::size_t>(nref));
+      const float half = p.ReadAt<float>(c + offsetof(BarnesCell, half));
+      qx = p.ReadAt<float>(c + offsetof(BarnesCell, com));
+      qy = p.ReadAt<float>(c + offsetof(BarnesCell, com) + 4);
+      qz = p.ReadAt<float>(c + offsetof(BarnesCell, com) + 8);
+      m = p.ReadAt<float>(c + offsetof(BarnesCell, mass));
+      const float dx = qx - xi, dy = qy - yi, dz = qz - zi;
+      const float d2 = dx * dx + dy * dy + dz * dz + 1e-9f;
+      open = (4.0f * half * half) > theta2 * d2;
+      if (open) {
+        for (int k = 0; k < 8; ++k) {
+          const std::int32_t ch = p.ReadAt<std::int32_t>(
+              c + offsetof(BarnesCell, child) + 4 * k);
+          if (ch != -1) stack.push_back(ch);
+        }
+        continue;
+      }
+    } else {
+      const std::size_t b = static_cast<std::size_t>(-nref - 2);
+      if (b == i) continue;
+      const GlobalAddr ba = bodies_.addr_of(b);
+      qx = p.ReadAt<float>(ba + offsetof(BarnesBody, pos));
+      qy = p.ReadAt<float>(ba + offsetof(BarnesBody, pos) + 4);
+      qz = p.ReadAt<float>(ba + offsetof(BarnesBody, pos) + 8);
+      m = p.ReadAt<float>(ba + offsetof(BarnesBody, mass));
+    }
+    const float dx = qx - xi, dy = qy - yi, dz = qz - zi;
+    const float d2 = dx * dx + dy * dy + dz * dz + 1e-4f;
+    const float inv = 1.0f / std::sqrt(d2);
+    const float inv3 = inv * inv * inv;
+    ax += static_cast<double>(m) * dx * inv3;
+    ay += static_cast<double>(m) * dy * inv3;
+    az += static_cast<double>(m) * dz * inv3;
+    phi -= static_cast<double>(m) * inv;
+    ++interactions;
+  }
+  p.Compute(45 * interactions);
+
+  p.WriteAt<float>(my + offsetof(BarnesBody, acc),
+                   static_cast<float>(ax));
+  p.WriteAt<float>(my + offsetof(BarnesBody, acc) + 4,
+                   static_cast<float>(ay));
+  p.WriteAt<float>(my + offsetof(BarnesBody, acc) + 8,
+                   static_cast<float>(az));
+  p.WriteAt<float>(my + offsetof(BarnesBody, phi), static_cast<float>(phi));
+  p.WriteAt<float>(my + offsetof(BarnesBody, work),
+                   static_cast<float>(interactions));
+}
+
+void Barnes::Body(Proc& p) {
+  const std::size_t n = params_.num_bodies;
+  const int P = p.nprocs();
+
+  // Master initializes bodies: deterministic uniform cube.
+  if (p.id() == 0) {
+    Xoshiro256 rng(0xBA43E5u);
+    for (std::size_t i = 0; i < n; ++i) {
+      BarnesBody b{};
+      for (int k = 0; k < 3; ++k) {
+        b.pos[k] = static_cast<float>(rng.UniformDouble(-0.9, 0.9));
+        b.vel[k] = static_cast<float>(rng.UniformDouble(-0.1, 0.1));
+      }
+      b.mass = 1.0f / static_cast<float>(n);
+      p.Write(bodies_, i, b);
+    }
+  }
+  p.Barrier();
+
+  const Range own = BlockRange(n, P, p.id());
+  for (int step = 0; step < params_.steps; ++step) {
+    // Sequential tree build by the master; everyone else waits.
+    if (p.id() == 0) BuildTree(p);
+    p.Barrier();
+
+    // Parallel force computation, contiguous body ownership (the paper's
+    // Barnes partitions bodies in array order; pages at partition
+    // boundaries are write-write false shared, while the force phase
+    // reads positions across the whole array — true sharing everywhere).
+    for (std::size_t i = own.begin; i < own.end; ++i) {
+      ComputeForce(p, i);
+    }
+    p.Barrier();
+
+    // Position/velocity update of owned bodies.
+    for (std::size_t i = own.begin; i < own.end; ++i) {
+      const GlobalAddr a = bodies_.addr_of(i);
+      for (int k = 0; k < 3; ++k) {
+        const float acc =
+            p.ReadAt<float>(a + offsetof(BarnesBody, acc) + 4 * k);
+        const float vel =
+            p.ReadAt<float>(a + offsetof(BarnesBody, vel) + 4 * k) +
+            acc * params_.dt;
+        p.WriteAt<float>(a + offsetof(BarnesBody, vel) + 4 * k, vel);
+        const float pos =
+            p.ReadAt<float>(a + offsetof(BarnesBody, pos) + 4 * k) +
+            vel * params_.dt;
+        p.WriteAt<float>(a + offsetof(BarnesBody, pos) + 4 * k, pos);
+      }
+      p.Compute(12);
+    }
+    p.Barrier();
+  }
+
+  // Verification: sum of |acc| over owned bodies.
+  double local = 0.0;
+  for (std::size_t i = own.begin; i < own.end; ++i) {
+    const GlobalAddr a = bodies_.addr_of(i);
+    for (int k = 0; k < 3; ++k) {
+      local += std::abs(
+          p.ReadAt<float>(a + offsetof(BarnesBody, acc) + 4 * k));
+    }
+  }
+  reducer_.Contribute(p, local);
+  p.Barrier();
+  const double total = reducer_.Sum(p);
+  if (p.id() == 0) result_ = total;
+}
+
+}  // namespace dsm::apps

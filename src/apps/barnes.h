@@ -1,0 +1,79 @@
+// Barnes-Hut N-body simulation (SPLASH Barnes, paper §5.5).
+//
+// The octree is built sequentially by a master processor (reading
+// essentially the entire body array); the O(N log N) force computation is
+// done in parallel.  Bodies are small AoS records assigned to processors
+// cyclically, so every page of the body array is written concurrently by
+// all processors — heavy write-write false sharing, but because there is
+// extensive true sharing on the same pages (everyone reads positions),
+// false sharing shows up almost entirely as piggybacked useless data
+// (velocities, accelerations, per-body work counters that only the owner
+// reads), not as useless messages.  Aggregation therefore wins.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "apps/app_common.h"
+
+namespace dsm::apps {
+
+struct BarnesParams {
+  std::string label;
+  std::size_t num_bodies;
+  int steps = 2;
+  float theta = 0.6f;  // opening criterion
+  float dt = 0.025f;
+};
+
+BarnesParams BarnesDataset(const std::string& label);  // "16K"
+
+// Shared AoS records.  Sizes mirror SPLASH (bodies ~100 B).
+struct BarnesBody {
+  float pos[3];
+  float vel[3];
+  float acc[3];
+  float mass;
+  float phi;   // potential, written by owner, read by nobody else
+  float work;  // interaction counter, written by owner, read by nobody
+  float pad[12];
+};
+static_assert(sizeof(BarnesBody) == 96);
+
+struct BarnesCell {
+  float center[3];
+  float half;  // half of the cube edge
+  float com[3];
+  float mass;
+  // child[j]: -1 empty, >= 0 child cell index, <= -2 body index -(c+2).
+  std::int32_t child[8];
+  std::int32_t pad[4];
+};
+static_assert(sizeof(BarnesCell) == 80);
+
+class Barnes : public Application {
+ public:
+  explicit Barnes(BarnesParams params);
+
+  const char* name() const override { return "Barnes"; }
+  std::string dataset() const override { return params_.label; }
+  std::size_t heap_bytes() const override;
+
+  void Setup(Runtime& rt) override;
+  void Body(Proc& p) override;
+  double result() const override { return result_; }
+
+ private:
+  void BuildTree(Proc& p);  // master only
+  void ComputeForce(Proc& p, std::size_t body_index);
+
+  BarnesParams params_;
+  std::size_t max_cells_ = 0;
+  SharedArray<BarnesBody> bodies_;
+  SharedArray<BarnesCell> cells_;
+  SharedArray<std::int32_t> tree_header_;  // [0] = number of cells
+  Reducer reducer_;
+  double result_ = 0.0;
+};
+
+}  // namespace dsm::apps

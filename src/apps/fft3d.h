@@ -1,0 +1,53 @@
+// 3D-FFT (NAS FT kernel, paper §5.5): forward/inverse FFTs over a 3-D
+// complex array with a distributed transpose between the local FFT passes.
+//
+// Layout: A[x][y][z] (z fastest), complex<double> elements, x-slab
+// partition.  The transpose builds B[y][x][z] = A[x][y][z] with B owned in
+// y-slabs, so a processor reads, from every source plane, one contiguous
+// chunk of (ny/P)*nz*16 bytes — that chunk is the paper's per-processor
+// read granularity during the transpose:
+//   "64x64x32"    → 4 KB chunks   (degrades at 8 K and 16 K units)
+//   "64x64x64"    → 8 KB chunks   (best at 8 K, degrades at 16 K)
+//   "128x128x128" → 32 KB chunks  (improves through 16 K)
+// A small shared checksum structure is concurrently written by all
+// processors and read by the master — the paper's source of a few useless
+// messages.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <string>
+
+#include "apps/app_common.h"
+
+namespace dsm::apps {
+
+struct Fft3dParams {
+  std::string label;
+  std::size_t nx, ny, nz;  // ny*nz*16/P is the transpose read grain
+  int iterations = 2;
+};
+
+Fft3dParams Fft3dDataset(const std::string& label);
+
+class Fft3d : public Application {
+ public:
+  explicit Fft3d(Fft3dParams params);
+
+  const char* name() const override { return "3D-FFT"; }
+  std::string dataset() const override { return params_.label; }
+  std::size_t heap_bytes() const override;
+
+  void Setup(Runtime& rt) override;
+  void Body(Proc& p) override;
+  double result() const override { return result_; }
+
+ private:
+  Fft3dParams params_;
+  SharedArray<double> a_;  // nx*ny*nz complex values (2 doubles each)
+  SharedArray<double> b_;  // transposed copy, y-major
+  SharedArray<double> checksum_;  // one page, slot per proc
+  double result_ = 0.0;
+};
+
+}  // namespace dsm::apps

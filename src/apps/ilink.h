@@ -1,0 +1,57 @@
+// Ilink (paper §5.5): genetic linkage analysis.  We do not have the
+// proprietary CLP pedigree inputs, so this is a synthetic workload with
+// exactly the sharing pattern the paper describes (see DESIGN.md §2):
+//
+//   * a pool of sparse "genarrays" in shared memory;
+//   * the master assigns non-zero elements to processors round-robin, so
+//     every page of the pool is written concurrently by ALL processors
+//     (maximal fine-grained write-write false sharing);
+//   * after a barrier the master reads every non-zero (messages contact
+//     all 7 peers — the "7" hump of the false sharing signature) and
+//     rescales the pool, becoming its single writer;
+//   * after another barrier all slaves read the pool back from the master
+//     (the "1" hump of the signature).
+//
+// Nearly every message is useful (true sharing dominates), while useful
+// messages carry useless data (the sparse zero gaps) — the paper's class
+// of apps where aggregation wins.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "apps/app_common.h"
+
+namespace dsm::apps {
+
+struct IlinkParams {
+  std::string label;
+  std::size_t num_genarrays;
+  std::size_t genarray_len;   // floats
+  std::size_t nonzero_stride; // every k-th element is non-zero
+  int iterations = 6;
+};
+
+IlinkParams IlinkDataset(const std::string& label);  // "CLP"
+
+class Ilink : public Application {
+ public:
+  explicit Ilink(IlinkParams params);
+
+  const char* name() const override { return "ILINK"; }
+  std::string dataset() const override { return params_.label; }
+  std::size_t heap_bytes() const override;
+
+  void Setup(Runtime& rt) override;
+  void Body(Proc& p) override;
+  double result() const override { return result_; }
+
+ private:
+  IlinkParams params_;
+  SharedArray<float> pool_;
+  SharedArray<double> scale_;  // one page: master's per-iteration scale
+  Reducer reducer_;
+  double result_ = 0.0;
+};
+
+}  // namespace dsm::apps

@@ -1,0 +1,48 @@
+// Jacobi: iterative solver for a differential equation on a square grid
+// (paper §5.5).  Row-band partition; only the boundary rows of each band
+// are communicated between neighbouring processors.
+//
+// Dataset mapping (DESIGN.md §5): the paper's critical variable is the
+// byte size of one grid row relative to the consistency unit.
+//   "1Kx1K" → rows of 1K floats (4 KB = exactly one VM page)
+//   "2Kx2K" → rows of 2K floats (8 KB)
+// The number of rows is scaled down (256); it only changes the
+// compute/communication ratio, not the sharing pattern.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "apps/app_common.h"
+
+namespace dsm::apps {
+
+struct JacobiParams {
+  std::string label;     // paper dataset name
+  std::size_t rows;      // grid rows (excluding the fixed boundary ring)
+  std::size_t cols;      // floats per row; cols*4 is the sharing grain
+  int iterations = 6;
+};
+
+JacobiParams JacobiDataset(const std::string& label);  // "1Kx1K", "2Kx2K"
+
+class Jacobi : public Application {
+ public:
+  explicit Jacobi(JacobiParams params);
+
+  const char* name() const override { return "Jacobi"; }
+  std::string dataset() const override { return params_.label; }
+  std::size_t heap_bytes() const override;
+
+  void Setup(Runtime& rt) override;
+  void Body(Proc& p) override;
+  double result() const override { return result_; }
+
+ private:
+  JacobiParams params_;
+  SharedArray<float> grid_;
+  Reducer reducer_;
+  double result_ = 0.0;
+};
+
+}  // namespace dsm::apps

@@ -1,0 +1,49 @@
+// Modified Gramm-Schmidt (paper §5.5): orthonormalize M vectors of N
+// floats, distributed cyclically across processors.
+//
+// The paper's pathological case: with the "1Kx1K" input, each vector is
+// exactly one 4 KB page.  Larger consistency units colocate 2 or 4 vectors
+// owned by *different* processors (cyclic distribution) on one unit, so
+// every unit becomes write-write false shared and the useless-message
+// count explodes — the only dramatic performance loss in the study.
+//
+// Dataset mapping (grain = vector size in bytes):
+//   "1Kx1K" → vectors of 1K floats (4 KB),  "2Kx2K" → 2K floats (8 KB),
+//   "1Kx4K" → 4K floats (16 KB).  Vector counts scaled down.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "apps/app_common.h"
+
+namespace dsm::apps {
+
+struct MgsParams {
+  std::string label;
+  std::size_t num_vectors;
+  std::size_t dim;  // floats per vector; dim*4 is the sharing grain
+};
+
+MgsParams MgsDataset(const std::string& label);  // "1Kx1K","2Kx2K","1Kx4K"
+
+class Mgs : public Application {
+ public:
+  explicit Mgs(MgsParams params);
+
+  const char* name() const override { return "MGS"; }
+  std::string dataset() const override { return params_.label; }
+  std::size_t heap_bytes() const override;
+
+  void Setup(Runtime& rt) override;
+  void Body(Proc& p) override;
+  double result() const override { return result_; }
+
+ private:
+  MgsParams params_;
+  SharedArray<float> vectors_;
+  Reducer reducer_;
+  double result_ = 0.0;
+};
+
+}  // namespace dsm::apps

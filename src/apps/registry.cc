@@ -1,0 +1,58 @@
+#include "apps/registry.h"
+
+#include "apps/barnes.h"
+#include "apps/fft3d.h"
+#include "apps/ilink.h"
+#include "apps/jacobi.h"
+#include "apps/mgs.h"
+#include "apps/shallow.h"
+#include "apps/tsp.h"
+#include "apps/water.h"
+#include "common/check.h"
+
+namespace dsm::apps {
+
+std::unique_ptr<Application> MakeApp(const std::string& app,
+                                     const std::string& dataset) {
+  if (app == "Jacobi") return std::make_unique<Jacobi>(JacobiDataset(dataset));
+  if (app == "MGS") return std::make_unique<Mgs>(MgsDataset(dataset));
+  if (app == "3D-FFT") return std::make_unique<Fft3d>(Fft3dDataset(dataset));
+  if (app == "Shallow") {
+    return std::make_unique<Shallow>(ShallowDataset(dataset));
+  }
+  if (app == "Barnes") return std::make_unique<Barnes>(BarnesDataset(dataset));
+  if (app == "Water") return std::make_unique<Water>(WaterDataset(dataset));
+  if (app == "TSP") return std::make_unique<Tsp>(TspDataset(dataset));
+  if (app == "ILINK") return std::make_unique<Ilink>(IlinkDataset(dataset));
+  DSM_CHECK(false) << "unknown application " << app;
+  return nullptr;
+}
+
+std::vector<AppSpec> Figure1Specs() {
+  return {
+      {"Barnes", "16K"},
+      {"ILINK", "CLP"},
+      {"TSP", "11-city"},
+      {"Water", "512"},
+  };
+}
+
+std::vector<AppSpec> Figure2Specs() {
+  return {
+      {"Jacobi", "1Kx1K"},    {"Jacobi", "2Kx2K"},
+      {"3D-FFT", "64x64x32"}, {"3D-FFT", "64x64x64"},
+      {"3D-FFT", "128x128x128"},
+      {"MGS", "1Kx1K"},       {"MGS", "2Kx2K"},
+      {"MGS", "1Kx4K"},
+      {"Shallow", "1Kx0.5K"}, {"Shallow", "2Kx0.5K"},
+      {"Shallow", "4Kx0.5K"},
+  };
+}
+
+std::vector<AppSpec> AllSpecs() {
+  std::vector<AppSpec> specs = Figure1Specs();
+  for (auto& s : Figure2Specs()) specs.push_back(s);
+  return specs;
+}
+
+}  // namespace dsm::apps

@@ -1,0 +1,27 @@
+// Application factory: name + dataset → Application instance, plus the
+// catalogue of (app, dataset) pairs from the paper's evaluation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app_common.h"
+
+namespace dsm::apps {
+
+struct AppSpec {
+  std::string app;
+  std::string dataset;
+};
+
+// Throws CheckError on unknown names.
+std::unique_ptr<Application> MakeApp(const std::string& app,
+                                     const std::string& dataset);
+
+// All (app, dataset) pairs evaluated in the paper (Figures 1 and 2).
+std::vector<AppSpec> Figure1Specs();  // Barnes, ILINK, TSP, Water
+std::vector<AppSpec> Figure2Specs();  // Jacobi, 3D-FFT, MGS, Shallow × sizes
+std::vector<AppSpec> AllSpecs();      // the union, Table 1 order
+
+}  // namespace dsm::apps

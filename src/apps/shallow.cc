@@ -1,0 +1,178 @@
+#include "apps/shallow.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dsm::apps {
+
+ShallowParams ShallowDataset(const std::string& label) {
+  if (label == "1Kx0.5K") return {"1Kx0.5K", 1024, 96, 4};
+  if (label == "2Kx0.5K") return {"2Kx0.5K", 2048, 96, 4};
+  if (label == "4Kx0.5K") return {"4Kx0.5K", 4096, 64, 4};
+  if (label == "tiny") return {"tiny", 1024, 16, 3};
+  DSM_CHECK(false) << "unknown Shallow dataset " << label;
+  return {};
+}
+
+Shallow::Shallow(ShallowParams params) : params_(std::move(params)) {}
+
+std::size_t Shallow::heap_bytes() const {
+  return 13 * params_.rows * params_.cols * sizeof(float) + (128u << 10);
+}
+
+void Shallow::Setup(Runtime& rt) {
+  const std::size_t n = params_.rows * params_.cols;
+  u_ = rt.AllocUnitAligned<float>(n, "u");
+  v_ = rt.AllocUnitAligned<float>(n, "v");
+  p_ = rt.AllocUnitAligned<float>(n, "p");
+  cu_ = rt.AllocUnitAligned<float>(n, "cu");
+  cv_ = rt.AllocUnitAligned<float>(n, "cv");
+  z_ = rt.AllocUnitAligned<float>(n, "z");
+  h_ = rt.AllocUnitAligned<float>(n, "h");
+  unew_ = rt.AllocUnitAligned<float>(n, "unew");
+  vnew_ = rt.AllocUnitAligned<float>(n, "vnew");
+  pnew_ = rt.AllocUnitAligned<float>(n, "pnew");
+  uold_ = rt.AllocUnitAligned<float>(n, "uold");
+  vold_ = rt.AllocUnitAligned<float>(n, "vold");
+  pold_ = rt.AllocUnitAligned<float>(n, "pold");
+  reducer_.Setup(rt, "shallow_check");
+}
+
+void Shallow::Body(Proc& p) {
+  const std::size_t R = params_.rows;
+  const std::size_t C = params_.cols;
+  const int P = p.nprocs();
+  const Range cols = BlockRange(C, P, p.id());
+  auto at = [&](std::size_t i, std::size_t j) { return j * R + i; };
+
+  constexpr float kAlpha = 0.1f;      // time-smoothing constant
+  constexpr float kFlux = 0.2f;       // flux coefficient
+  constexpr float kGrad = 0.15f;      // gradient coefficient
+
+  // Deterministic initialization of owned columns.
+  for (std::size_t j = cols.begin; j < cols.end; ++j) {
+    for (std::size_t i = 0; i < R; ++i) {
+      const float a = 0.013f * static_cast<float>(i) +
+                      0.029f * static_cast<float>(j);
+      const float uu = std::sin(a);
+      const float vv = std::cos(1.7f * a);
+      const float pp = 10.0f + 0.5f * std::sin(0.41f * a);
+      p.Write(u_, at(i, j), uu);
+      p.Write(v_, at(i, j), vv);
+      p.Write(p_, at(i, j), pp);
+      p.Write(uold_, at(i, j), uu);
+      p.Write(vold_, at(i, j), vv);
+      p.Write(pold_, at(i, j), pp);
+    }
+  }
+  p.Barrier();
+
+  for (int iter = 0; iter < params_.iterations; ++iter) {
+    // --- Phase A: fluxes.  Own columns; reads column j-1 (left
+    // neighbour's last column at the chunk boundary).
+    for (std::size_t j = cols.begin; j < cols.end; ++j) {
+      const std::size_t jm1 = j == 0 ? 0 : j - 1;
+      for (std::size_t i = 0; i < R; ++i) {
+        const float uj = p.Read(u_, at(i, j));
+        const float vj = p.Read(v_, at(i, j));
+        const float pj = p.Read(p_, at(i, j));
+        const float um = p.Read(u_, at(i, jm1));
+        const float vm = p.Read(v_, at(i, jm1));
+        const float pm = p.Read(p_, at(i, jm1));
+        p.Write(cu_, at(i, j), 0.5f * (pj + pm) * uj);
+        p.Write(cv_, at(i, j), 0.5f * (pj + pm) * vj);
+        p.Write(z_, at(i, j),
+                (kFlux * (vj - vm) + kFlux * (uj - um)) / (0.5f * (pj + pm)));
+        p.Write(h_, at(i, j), pj + 0.25f * (uj * uj + vj * vj));
+      }
+      p.Compute(10 * R);
+    }
+    p.Barrier();
+
+    // --- Phase B: new time level.  Reads fluxes at j and j+1; writes
+    // unew/vnew into column j+1 — the FIRST COLUMN OF THE RIGHT
+    // NEIGHBOUR'S CHUNK at the boundary — and pnew into its own column.
+    if (p.id() == 0) {
+      for (std::size_t i = 0; i < R; ++i) {
+        p.Write(unew_, at(i, 0), 0.99f * p.Read(uold_, at(i, 0)));
+        p.Write(vnew_, at(i, 0), 0.99f * p.Read(vold_, at(i, 0)));
+      }
+    }
+    for (std::size_t j = cols.begin; j < cols.end; ++j) {
+      const std::size_t jp1 = j + 1 < C ? j + 1 : j;
+      const bool write_next = j + 1 < C;
+      for (std::size_t i = 0; i < R; ++i) {
+        const float zj = p.Read(z_, at(i, j));
+        const float zp = p.Read(z_, at(i, jp1));
+        const float hj = p.Read(h_, at(i, j));
+        const float hp = p.Read(h_, at(i, jp1));
+        const float cuj = p.Read(cu_, at(i, j));
+        const float cup = p.Read(cu_, at(i, jp1));
+        const float cvj = p.Read(cv_, at(i, j));
+        const float cvp = p.Read(cv_, at(i, jp1));
+        if (write_next) {
+          p.Write(unew_, at(i, j + 1),
+                  p.Read(uold_, at(i, j)) +
+                      kFlux * (zp + zj) * (cvp + cvj) * 0.25f -
+                      kGrad * (hp - hj));
+          p.Write(vnew_, at(i, j + 1),
+                  p.Read(vold_, at(i, j)) -
+                      kFlux * (zp + zj) * (cup + cuj) * 0.25f -
+                      kGrad * (hp - hj));
+        }
+        p.Write(pnew_, at(i, j),
+                p.Read(pold_, at(i, j)) - kGrad * (cup - cuj) -
+                    kGrad * (cvp - cvj));
+      }
+      p.Compute(14 * R);
+    }
+    p.Barrier();
+
+    // --- Phase C: time smoothing and rotation, own columns only.  The
+    // first owned column of unew/vnew was written by the left neighbour —
+    // true sharing on exactly one column.
+    for (std::size_t j = cols.begin; j < cols.end; ++j) {
+      for (std::size_t i = 0; i < R; ++i) {
+        const float un = p.Read(unew_, at(i, j));
+        const float vn = p.Read(vnew_, at(i, j));
+        const float pn = p.Read(pnew_, at(i, j));
+        const float uc = p.Read(u_, at(i, j));
+        const float vc = p.Read(v_, at(i, j));
+        const float pc = p.Read(p_, at(i, j));
+        p.Write(uold_, at(i, j),
+                uc + kAlpha * (un - 2.0f * uc + p.Read(uold_, at(i, j))));
+        p.Write(vold_, at(i, j),
+                vc + kAlpha * (vn - 2.0f * vc + p.Read(vold_, at(i, j))));
+        p.Write(pold_, at(i, j),
+                pc + kAlpha * (pn - 2.0f * pc + p.Read(pold_, at(i, j))));
+        p.Write(u_, at(i, j), un);
+        p.Write(v_, at(i, j), vn);
+        p.Write(p_, at(i, j), pn);
+      }
+      p.Compute(12 * R);
+    }
+
+    // Wraparound: the master copies the last column of p to the first.
+    if (p.id() == 0) {
+      for (std::size_t i = 0; i < R; ++i) {
+        p.Write(p_, at(i, 0), p.Read(p_, at(i, C - 1)));
+      }
+    }
+    p.Barrier();
+  }
+
+  // Verification: global sum of the height field.
+  double local = 0.0;
+  for (std::size_t j = cols.begin; j < cols.end; ++j) {
+    for (std::size_t i = 0; i < R; ++i) {
+      local += p.Read(p_, at(i, j));
+    }
+  }
+  reducer_.Contribute(p, local);
+  p.Barrier();
+  const double total = reducer_.Sum(p);
+  if (p.id() == 0) result_ = total;
+}
+
+}  // namespace dsm::apps

@@ -1,0 +1,58 @@
+// Shallow (NCAR benchmark, paper §5.5): finite-difference shallow-water
+// equations on a 2-D grid, column-major arrays partitioned in column
+// chunks.  Reproduces the paper's three boundary patterns:
+//
+//   * flux arrays (cu, cv, z, h, and u, v, p reads): processors write only
+//     their own columns and read one boundary column of a neighbour —
+//     piggybacked useless data at large units (the Jacobi-like pattern);
+//   * velocity updates (unew, vnew): processors also WRITE the first
+//     column of the right neighbour's chunk and read none of the
+//     neighbour's columns — write-write false sharing that turns into
+//     useless messages once a unit holds two columns;
+//   * wraparound: the master copies the last column of p to the first —
+//     piggybacked useless data only.
+//
+// Dataset mapping (grain = column size R*4 bytes):
+//   "1Kx0.5K" → 4 KB columns, "2Kx0.5K" → 8 KB, "4Kx0.5K" → 16 KB.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "apps/app_common.h"
+
+namespace dsm::apps {
+
+struct ShallowParams {
+  std::string label;
+  std::size_t rows;  // column length; rows*4 is the sharing grain
+  std::size_t cols;
+  int iterations = 4;
+};
+
+ShallowParams ShallowDataset(const std::string& label);
+
+class Shallow : public Application {
+ public:
+  explicit Shallow(ShallowParams params);
+
+  const char* name() const override { return "Shallow"; }
+  std::string dataset() const override { return params_.label; }
+  std::size_t heap_bytes() const override;
+
+  void Setup(Runtime& rt) override;
+  void Body(Proc& p) override;
+  double result() const override { return result_; }
+
+ private:
+  ShallowParams params_;
+  // State, flux, new, and old arrays — 13 in total, as in the original.
+  SharedArray<float> u_, v_, p_;
+  SharedArray<float> cu_, cv_, z_, h_;
+  SharedArray<float> unew_, vnew_, pnew_;
+  SharedArray<float> uold_, vold_, pold_;
+  Reducer reducer_;
+  double result_ = 0.0;
+};
+
+}  // namespace dsm::apps

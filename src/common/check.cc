@@ -1,0 +1,13 @@
+#include "common/check.h"
+
+namespace dsm::internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& msg) {
+  std::ostringstream out;
+  out << "DSM_CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!msg.empty()) out << " — " << msg;
+  throw CheckError(out.str());
+}
+
+}  // namespace dsm::internal

@@ -1,0 +1,72 @@
+// Lightweight runtime checking for the pagedsm library.
+//
+// DSM_CHECK is always on (protocol invariants must hold in release builds:
+// a silently corrupted page table produces wrong *science*, not just a
+// crash).  DSM_DCHECK compiles out in NDEBUG builds and is meant for
+// hot-path assertions (per shared-memory access).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dsm {
+
+// Thrown by DSM_CHECK failures.  Tests rely on this being an exception (so
+// death tests are not needed) and on the message carrying the expression.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+
+// Stream-collector so call sites can write
+//   DSM_CHECK(a == b) << "a=" << a;
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessage() noexcept(false) {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+struct Voidify {
+  // Lowest-precedence operator so the macro's ternary works with <<.
+  void operator&&(const CheckMessage&) {}
+};
+}  // namespace internal
+
+#define DSM_CHECK(cond)                                        \
+  (cond) ? (void)0                                             \
+         : ::dsm::internal::Voidify{} &&                       \
+               ::dsm::internal::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define DSM_CHECK_EQ(a, b) DSM_CHECK((a) == (b))
+#define DSM_CHECK_NE(a, b) DSM_CHECK((a) != (b))
+#define DSM_CHECK_LT(a, b) DSM_CHECK((a) < (b))
+#define DSM_CHECK_LE(a, b) DSM_CHECK((a) <= (b))
+#define DSM_CHECK_GT(a, b) DSM_CHECK((a) > (b))
+#define DSM_CHECK_GE(a, b) DSM_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define DSM_DCHECK(cond) (void)0
+#else
+#define DSM_DCHECK(cond) DSM_CHECK(cond)
+#endif
+
+}  // namespace dsm

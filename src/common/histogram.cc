@@ -1,0 +1,67 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dsm {
+
+void SplitHistogram::EnsureBucket(std::size_t bucket) {
+  if (bucket >= buckets_.size()) buckets_.resize(bucket + 1);
+}
+
+void SplitHistogram::AddUseful(std::size_t bucket, std::uint64_t n) {
+  EnsureBucket(bucket);
+  buckets_[bucket].useful += n;
+}
+
+void SplitHistogram::AddUseless(std::size_t bucket, std::uint64_t n) {
+  EnsureBucket(bucket);
+  buckets_[bucket].useless += n;
+}
+
+std::uint64_t SplitHistogram::useful(std::size_t bucket) const {
+  return bucket < buckets_.size() ? buckets_[bucket].useful : 0;
+}
+
+std::uint64_t SplitHistogram::useless(std::size_t bucket) const {
+  return bucket < buckets_.size() ? buckets_[bucket].useless : 0;
+}
+
+std::uint64_t SplitHistogram::grand_total() const {
+  std::uint64_t sum = 0;
+  for (const auto& b : buckets_) sum += b.useful + b.useless;
+  return sum;
+}
+
+std::vector<double> SplitHistogram::NormalizedTotals() const {
+  std::uint64_t max = 0;
+  for (const auto& b : buckets_) max = std::max(max, b.useful + b.useless);
+  std::vector<double> out(buckets_.size(), 0.0);
+  if (max == 0) return out;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = static_cast<double>(total(i)) / static_cast<double>(max);
+  }
+  return out;
+}
+
+void SplitHistogram::Merge(const SplitHistogram& other) {
+  EnsureBucket(other.buckets_.empty() ? 0 : other.buckets_.size() - 1);
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i].useful += other.buckets_[i].useful;
+    buckets_[i].useless += other.buckets_[i].useless;
+  }
+}
+
+std::string SplitHistogram::ToString() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (total(i) == 0) continue;
+    out << "  [" << i << "] useful=" << useful(i) << " useless=" << useless(i)
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dsm

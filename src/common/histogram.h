@@ -1,0 +1,50 @@
+// Small integer-bucket histogram used for the paper's "false sharing
+// signature" (Figure 3): the distribution of the number of concurrent
+// writers contacted at page faults, with each bucket split into useful and
+// useless message exchanges.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsm {
+
+// Histogram over small non-negative integer keys.  Each bucket carries two
+// counts (useful/useless) because Figure 3 stacks them in one bar.
+class SplitHistogram {
+ public:
+  SplitHistogram() = default;
+  explicit SplitHistogram(std::size_t num_buckets) : buckets_(num_buckets) {}
+
+  void AddUseful(std::size_t bucket, std::uint64_t n = 1);
+  void AddUseless(std::size_t bucket, std::uint64_t n = 1);
+
+  std::size_t num_buckets() const { return buckets_.size(); }
+  std::uint64_t useful(std::size_t bucket) const;
+  std::uint64_t useless(std::size_t bucket) const;
+  std::uint64_t total(std::size_t bucket) const {
+    return useful(bucket) + useless(bucket);
+  }
+  std::uint64_t grand_total() const;
+
+  // Bucket counts normalized so the largest bucket is 1.0 (the paper's
+  // Figure 3 normalizes each signature to its own maximum).
+  std::vector<double> NormalizedTotals() const;
+
+  // Merge another histogram into this one (buckets grow as needed).
+  void Merge(const SplitHistogram& other);
+
+  // Multi-line ASCII rendering, one row per non-empty bucket.
+  std::string ToString() const;
+
+ private:
+  struct Bucket {
+    std::uint64_t useful = 0;
+    std::uint64_t useless = 0;
+  };
+  void EnsureBucket(std::size_t bucket);
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace dsm

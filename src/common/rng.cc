@@ -1,0 +1,60 @@
+#include "common/rng.h"
+
+#include "common/check.h"
+
+namespace dsm {
+
+namespace {
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t SplitMix64::Next() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.Next();
+}
+
+std::uint64_t Xoshiro256::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::UniformInt(std::uint64_t bound) {
+  DSM_CHECK_GT(bound, 0u);
+  // Lemire's method: multiply-high maps a 64-bit draw to [0, bound).
+  const unsigned __int128 product =
+      static_cast<unsigned __int128>(Next()) * bound;
+  return static_cast<std::uint64_t>(product >> 64);
+}
+
+std::int64_t Xoshiro256::UniformRange(std::int64_t lo, std::int64_t hi) {
+  DSM_CHECK_LE(lo, hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(UniformInt(span));
+}
+
+double Xoshiro256::UniformDouble() {
+  // 53 high bits → [0,1) with full double precision.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+}  // namespace dsm

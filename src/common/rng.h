@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in pagedsm that needs randomness (workload generators, TSP city
+// layouts, property tests) uses this xoshiro256** generator seeded
+// explicitly, never std::random_device, so every figure bench is
+// reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dsm {
+
+// SplitMix64: used to expand a single 64-bit seed into xoshiro state.
+// Reference: Vigna, http://prng.di.unimi.it/splitmix64.c
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t Next();
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256** 1.0 — fast, high-quality, 2^256-1 period.
+// Satisfies the UniformRandomBitGenerator concept so it can drive
+// std::uniform_int_distribution etc., though pagedsm mostly uses the
+// convenience members below to avoid libstdc++ distribution variance.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return Next(); }
+  std::uint64_t Next();
+
+  // Uniform in [0, bound) via Lemire's multiply-shift (no modulo bias for
+  // our purposes; bound must be > 0).
+  std::uint64_t UniformInt(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t UniformRange(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dsm

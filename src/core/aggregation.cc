@@ -1,0 +1,100 @@
+#include "core/aggregation.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dsm {
+
+DynamicAggregator::DynamicAggregator(std::size_t num_units,
+                                     int max_group_pages)
+    : max_group_pages_(max_group_pages),
+      accessed_epoch_(num_units, 0),
+      prefetch_pending_(num_units, 0),
+      group_of_(num_units, -1) {
+  DSM_CHECK_GE(max_group_pages, 1);
+}
+
+void DynamicAggregator::RecordAccess(UnitId unit) {
+  prefetch_pending_[unit] = 0;  // the prefetch paid off
+  if (accessed_epoch_[unit] == epoch_) return;
+  accessed_epoch_[unit] = epoch_;
+  access_seq_.push_back(unit);
+}
+
+void DynamicAggregator::NotifyPrefetched(UnitId unit) {
+  if (prefetch_pending_[unit] == 0) {
+    prefetch_pending_[unit] = 1;
+    prefetched_.push_back(unit);
+  }
+}
+
+void DynamicAggregator::RemoveFromGroup(UnitId unit) {
+  const std::int32_t gid = group_of_[unit];
+  if (gid < 0) return;
+  auto& members = groups_[static_cast<std::size_t>(gid)];
+  members.erase(std::find(members.begin(), members.end(), unit));
+  group_of_[unit] = -1;
+  // A group of one page aggregates nothing; dissolve it.
+  if (members.size() == 1) {
+    group_of_[members.front()] = -1;
+    members.clear();
+  }
+  if (members.empty()) {
+    free_group_ids_.push_back(static_cast<std::uint32_t>(gid));
+    num_live_groups_ -= 1;
+  }
+}
+
+void DynamicAggregator::OnSynchronization() {
+  // (a) Split members whose prefetch was never consumed: the access
+  // pattern that created the group no longer holds.
+  for (UnitId u : prefetched_) {
+    if (prefetch_pending_[u] != 0) {
+      prefetch_pending_[u] = 0;
+      RemoveFromGroup(u);
+    }
+  }
+  prefetched_.clear();
+
+  // (b) Re-group the pages accessed in the ended interval, in access
+  // order.  Accessed pages migrate from their old groups to the new ones.
+  std::size_t i = 0;
+  while (i < access_seq_.size()) {
+    const std::size_t take =
+        std::min<std::size_t>(max_group_pages_, access_seq_.size() - i);
+    if (take >= 2) {
+      std::uint32_t gid;
+      if (!free_group_ids_.empty()) {
+        gid = free_group_ids_.back();
+        free_group_ids_.pop_back();
+        groups_[gid].clear();
+      } else {
+        gid = static_cast<std::uint32_t>(groups_.size());
+        groups_.emplace_back();
+      }
+      for (std::size_t k = i; k < i + take; ++k) {
+        const UnitId u = access_seq_[k];
+        RemoveFromGroup(u);
+        group_of_[u] = static_cast<std::int32_t>(gid);
+        groups_[gid].push_back(u);
+      }
+      num_live_groups_ += 1;
+    } else {
+      // A lone access does not form a group, but it is fresh evidence for
+      // this page's pattern; keep any existing membership.
+    }
+    i += take;
+  }
+
+  access_seq_.clear();
+  ++epoch_;
+}
+
+std::span<const UnitId> DynamicAggregator::GroupOf(UnitId unit) const {
+  const std::int32_t gid = group_of_[unit];
+  if (gid < 0) return {};
+  return groups_[static_cast<std::size_t>(gid)];
+}
+
+}  // namespace dsm

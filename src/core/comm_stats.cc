@@ -1,0 +1,94 @@
+#include "core/comm_stats.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dsm {
+
+void CommBreakdown::Merge(const CommBreakdown& other) {
+  useful_messages += other.useful_messages;
+  useless_messages += other.useless_messages;
+  sync_messages += other.sync_messages;
+  useful_data_bytes += other.useful_data_bytes;
+  piggyback_useless_bytes += other.piggyback_useless_bytes;
+  useless_msg_data_bytes += other.useless_msg_data_bytes;
+  signature.Merge(other.signature);
+  read_faults += other.read_faults;
+  write_faults += other.write_faults;
+  silent_validations += other.silent_validations;
+  twins_created += other.twins_created;
+  diffs_created += other.diffs_created;
+  diffs_applied += other.diffs_applied;
+  units_invalidated += other.units_invalidated;
+  group_prefetch_units += other.group_prefetch_units;
+}
+
+std::string CommBreakdown::ToString() const {
+  std::ostringstream out;
+  out << "messages: useful=" << useful_messages
+      << " useless=" << useless_messages << " sync=" << sync_messages
+      << "\n";
+  out << "data bytes: useful=" << useful_data_bytes
+      << " piggyback_useless=" << piggyback_useless_bytes
+      << " useless_msg=" << useless_msg_data_bytes << "\n";
+  out << "events: rfault=" << read_faults << " wfault=" << write_faults
+      << " silent=" << silent_validations << " twin=" << twins_created
+      << " diff+=" << diffs_created << " diff->=" << diffs_applied
+      << " inval=" << units_invalidated << "\n";
+  out << "signature:\n" << signature.ToString();
+  return out.str();
+}
+
+std::uint32_t CommStats::NewExchange(ProcId writer) {
+  exchanges_.push_back({writer, 0, 0, 0});
+  return static_cast<std::uint32_t>(exchanges_.size() - 1);
+}
+
+void CommStats::AddDelivered(std::uint32_t exchange_id, std::uint32_t words,
+                             std::uint32_t payload_bytes) {
+  auto& e = exchanges_[exchange_id];
+  e.delivered_words += words;
+  e.payload_bytes += payload_bytes;
+}
+
+void CommStats::RecordFault(int num_writers, std::uint32_t first_exchange) {
+  DSM_CHECK_GT(num_writers, 0);
+  faults_.push_back(
+      {first_exchange, static_cast<std::uint16_t>(num_writers)});
+}
+
+CommBreakdown CommStats::Finalize() const {
+  CommBreakdown out = counters_;
+
+  for (const auto& e : exchanges_) {
+    const bool useful = e.useful_words > 0;
+    const std::uint64_t useful_bytes =
+        static_cast<std::uint64_t>(e.useful_words) * kWordBytes;
+    const std::uint64_t useless_bytes =
+        static_cast<std::uint64_t>(e.delivered_words - e.useful_words) *
+        kWordBytes;
+    if (useful) {
+      out.useful_messages += 2;  // request + response
+      out.useful_data_bytes += useful_bytes;
+      out.piggyback_useless_bytes += useless_bytes;
+    } else {
+      out.useless_messages += 2;
+      out.useless_msg_data_bytes += useless_bytes;
+    }
+  }
+
+  for (const auto& f : faults_) {
+    for (std::uint16_t i = 0; i < f.num_writers; ++i) {
+      const auto& e = exchanges_[f.first_exchange + i];
+      if (e.useful_words > 0) {
+        out.signature.AddUseful(f.num_writers);
+      } else {
+        out.signature.AddUseless(f.num_writers);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dsm

@@ -1,0 +1,118 @@
+// Semantic communication statistics: the paper's measurement methodology.
+//
+// Every page fault that sends messages contacts some set of concurrent
+// writers; the exchange with each writer is one request + one response
+// (diffs).  CommStats records one ExchangeRecord per writer contacted and
+// one FaultRecord per fault.  WordTracker credits exchanges with useful
+// words as delivered words are read.  Finalize() then computes the
+// breakdowns shown in Figures 1–3:
+//
+//   * useful / useless messages  (a message is useless iff the exchange
+//     delivered no word that was read before being overwritten),
+//   * useful data / piggybacked useless data (useless words on useful
+//     messages) / useless data on useless messages,
+//   * the false sharing signature: histogram over faults of the number of
+//     concurrent writers contacted, split useful/useless per exchange.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "mem/types.h"
+
+namespace dsm {
+
+// Finalized communication breakdown for one run (or one node).
+struct CommBreakdown {
+  // Message counts.  Each exchange contributes 2 messages (request +
+  // response), classified together, matching the paper's examples ("the
+  // messages exchanged with p2 are useless messages").
+  std::uint64_t useful_messages = 0;
+  std::uint64_t useless_messages = 0;
+  std::uint64_t sync_messages = 0;  // barrier/lock traffic (always useful)
+
+  // Data volumes, in bytes of diff payload words.
+  std::uint64_t useful_data_bytes = 0;
+  std::uint64_t piggyback_useless_bytes = 0;  // useless words on useful msgs
+  std::uint64_t useless_msg_data_bytes = 0;   // words on useless msgs
+
+  // False sharing signature (Figure 3): bucket k = faults that contacted k
+  // concurrent writers; per bucket, exchanges split useful/useless.
+  SplitHistogram signature;
+
+  // Protocol event counters.
+  std::uint64_t read_faults = 0;
+  std::uint64_t write_faults = 0;
+  std::uint64_t silent_validations = 0;  // updated-invalid unit validated
+  std::uint64_t twins_created = 0;
+  std::uint64_t diffs_created = 0;
+  std::uint64_t diffs_applied = 0;
+  std::uint64_t units_invalidated = 0;
+  std::uint64_t group_prefetch_units = 0;  // units fetched via page groups
+
+  std::uint64_t total_messages() const {
+    return useful_messages + useless_messages + sync_messages;
+  }
+  std::uint64_t total_data_bytes() const {
+    return useful_data_bytes + piggyback_useless_bytes +
+           useless_msg_data_bytes;
+  }
+  std::uint64_t useless_data_bytes() const {
+    return piggyback_useless_bytes + useless_msg_data_bytes;
+  }
+
+  void Merge(const CommBreakdown& other);
+  std::string ToString() const;
+};
+
+// Per-node, single-threaded statistics collector.
+class CommStats {
+ public:
+  CommStats() = default;
+
+  // Open a new exchange with `writer`; returns its id, which WordTracker
+  // uses to tag delivered words.
+  std::uint32_t NewExchange(ProcId writer);
+
+  void AddDelivered(std::uint32_t exchange_id, std::uint32_t words,
+                    std::uint32_t payload_bytes);
+  // One delivered word was read before being overwritten.
+  void Credit(std::uint32_t exchange_id) {
+    exchanges_[exchange_id].useful_words += 1;
+  }
+
+  // A fault contacted `num_writers` distinct writers whose exchanges are
+  // [first_exchange, first_exchange + num_writers).
+  void RecordFault(int num_writers, std::uint32_t first_exchange);
+
+  std::uint32_t num_exchanges() const {
+    return static_cast<std::uint32_t>(exchanges_.size());
+  }
+
+  // Event counters, incremented by the protocol.
+  CommBreakdown& counters() { return counters_; }
+
+  // Classify all exchanges and produce the breakdown.  Words still fresh
+  // (never read) count as useless.  Idempotent snapshot.
+  CommBreakdown Finalize() const;
+
+ private:
+  struct ExchangeRecord {
+    ProcId writer = -1;
+    std::uint32_t delivered_words = 0;
+    std::uint32_t useful_words = 0;
+    std::uint32_t payload_bytes = 0;
+  };
+  struct FaultRecord {
+    std::uint32_t first_exchange = 0;
+    std::uint16_t num_writers = 0;
+  };
+
+  std::vector<ExchangeRecord> exchanges_;
+  std::vector<FaultRecord> faults_;
+  CommBreakdown counters_;  // event counters + sync messages live here
+};
+
+}  // namespace dsm

@@ -1,0 +1,50 @@
+// Runtime configuration: consistency-unit size, aggregation mode, cost and
+// network models.  One RuntimeConfig fully determines a run; every figure
+// bench is a sweep over these fields.
+#pragma once
+
+#include <cstddef>
+
+#include "mem/types.h"
+#include "net/network_model.h"
+#include "sim/cost_model.h"
+
+namespace dsm {
+
+enum class AggregationMode {
+  kStatic,   // consistency unit = pages_per_unit × 4 KB (paper §3)
+  kDynamic,  // unit = 4 KB page + runtime page grouping (paper §4)
+};
+
+struct RuntimeConfig {
+  int num_procs = 8;
+  std::size_t heap_bytes = 8u << 20;
+
+  AggregationMode aggregation = AggregationMode::kStatic;
+  // Static aggregation factor: 1 → 4 KB units, 2 → 8 KB, 4 → 16 KB.
+  int pages_per_unit = 1;
+  // Dynamic aggregation: maximum pages per page group.  Default 4 mirrors
+  // the largest static unit the paper studies (16 KB).
+  int max_group_pages = 4;
+
+  // Word-level useful/useless classification (paper §5.3).  Costs nothing
+  // in modelled time; can be disabled for raw-speed host runs.
+  bool track_usage = true;
+
+  // Number of DSM lock ids available to the application.
+  int num_locks = 4096;
+
+  NetworkConfig net;
+  CostModel cost;
+
+  std::size_t unit_bytes() const {
+    return aggregation == AggregationMode::kDynamic
+               ? kBasePageBytes
+               : kBasePageBytes * static_cast<std::size_t>(pages_per_unit);
+  }
+
+  // Human-readable label for tables: "4K", "8K", "16K", or "Dyn".
+  const char* UnitLabel() const;
+};
+
+}  // namespace dsm

@@ -1,0 +1,475 @@
+#include "core/protocol.h"
+
+#include <algorithm>
+
+namespace dsm {
+
+const char* RuntimeConfig::UnitLabel() const {
+  if (aggregation == AggregationMode::kDynamic) return "Dyn";
+  switch (pages_per_unit) {
+    case 1:
+      return "4K";
+    case 2:
+      return "8K";
+    case 4:
+      return "16K";
+    case 8:
+      return "32K";
+    default:
+      return "static";
+  }
+}
+
+SharedState::SharedState(const RuntimeConfig& cfg)
+    : config(cfg),
+      heap(cfg.heap_bytes, cfg.unit_bytes()),
+      net(cfg.net),
+      barrier(std::make_unique<BarrierService>(cfg.num_procs)),
+      locks(std::make_unique<LockService>(cfg.num_locks, cfg.num_procs)) {
+  DSM_CHECK_GE(cfg.num_procs, 1);
+  archives.reserve(cfg.num_procs);
+  for (int p = 0; p < cfg.num_procs; ++p) {
+    archives.push_back(std::make_unique<IntervalArchive>());
+  }
+}
+
+Node::Node(ProcId id, SharedState& shared)
+    : id_(id),
+      shared_(shared),
+      unit_bytes_(shared.heap.unit_bytes()),
+      unit_shift_(shared.heap.unit_shift()),
+      image_(new std::byte[shared.heap.heap_bytes()]()),
+      table_(shared.heap.num_units(), unit_bytes_),
+      tracker_(shared.heap.num_units(), unit_bytes_ / kWordBytes),
+      pending_(shared.heap.num_units()),
+      retwin_cheap_(shared.heap.num_units(), 0),
+      diff_requested_(shared.heap.num_units()),
+      aggregator_(shared.heap.num_units(), shared.config.max_group_pages),
+      vc_(shared.config.num_procs),
+      notices_seen_(shared.config.num_procs),
+      needs_by_writer_(shared.config.num_procs) {}
+
+void Node::ReadFault(UnitId unit) {
+  const CostModel& cost = shared_.config.cost;
+  comm_stats_.counters().read_faults += 1;
+  clock_.Advance(cost.fault_overhead);
+  ValidateUnit(unit);
+}
+
+void Node::WriteFault(UnitId unit) {
+  const CostModel& cost = shared_.config.cost;
+  const UnitState s = table_.state(unit);
+  // Lazy-diffing model: after a release the twin persists and the page
+  // stays writable at the writer, so re-dirtying it is free unless some
+  // peer requested a diff in between (forcing diff creation, twin discard,
+  // and re-protection at the writer).
+  const bool cheap =
+      s == UnitState::kReadValid && retwin_cheap_[unit] != 0 &&
+      diff_requested_[unit].load(std::memory_order_relaxed) == 0;
+  if (!cheap) {
+    comm_stats_.counters().write_faults += 1;
+    clock_.Advance(cost.fault_overhead);
+  }
+  if (s == UnitState::kInvalid || s == UnitState::kUpdatedInvalid) {
+    ValidateUnit(unit);
+  }
+  if (table_.state(unit) == UnitState::kReadValid) TwinUnit(unit, cheap);
+}
+
+void Node::TwinUnit(UnitId unit, bool cheap) {
+  const CostModel& cost = shared_.config.cost;
+  table_.MakeTwin(unit, UnitSpan(unit));
+  table_.RecordDirty(unit);
+  table_.set_state(unit, UnitState::kDirty);
+  comm_stats_.counters().twins_created += 1;
+  retwin_cheap_[unit] = 0;
+  diff_requested_[unit].store(0, std::memory_order_relaxed);
+  if (!cheap) clock_.Advance(cost.TwinCost(unit_bytes_) + cost.mprotect_op);
+}
+
+void Node::ValidateUnit(UnitId unit) {
+  const CostModel& cost = shared_.config.cost;
+  const bool dynamic =
+      shared_.config.aggregation == AggregationMode::kDynamic;
+  if (dynamic) aggregator_.RecordAccess(unit);
+
+  if (table_.state(unit) == UnitState::kUpdatedInvalid) {
+    // Updates already arrived with the page group; just unprotect.
+    comm_stats_.counters().silent_validations += 1;
+    table_.set_state(unit, table_.HasTwin(unit) ? UnitState::kDirty
+                                                : UnitState::kReadValid);
+    clock_.Advance(cost.mprotect_op);
+    return;
+  }
+
+  DSM_CHECK(!pending_[unit].empty())
+      << "invalid unit " << unit << " with no pending write notices";
+
+  retwin_cheap_[unit] = 0;
+  std::vector<UnitId> fetch{unit};
+  if (dynamic) {
+    for (UnitId member : aggregator_.GroupOf(unit)) {
+      if (member == unit) continue;
+      if (table_.state(member) == UnitState::kInvalid &&
+          !pending_[member].empty()) {
+        fetch.push_back(member);
+      }
+    }
+  }
+  FetchUnits(fetch);
+
+  for (UnitId fetched : fetch) {
+    if (fetched == unit) {
+      table_.set_state(unit, table_.HasTwin(unit) ? UnitState::kDirty
+                                                  : UnitState::kReadValid);
+    } else {
+      table_.set_state(fetched, UnitState::kUpdatedInvalid);
+      aggregator_.NotifyPrefetched(fetched);
+      comm_stats_.counters().group_prefetch_units += 1;
+    }
+  }
+  clock_.Advance(cost.mprotect_op);
+}
+
+void Node::FetchUnits(const std::vector<UnitId>& units) {
+  const CostModel& cost = shared_.config.cost;
+  const int nprocs = num_procs();
+  const std::size_t words_per_unit = unit_bytes_ / kWordBytes;
+
+  // Gather needed diffs, grouped by writer.  Consecutive intervals of the
+  // SAME writer are coalesced into one combined diff when no foreign
+  // pending interval is ordered after the chain's head without also being
+  // ordered after its tail — in that case no reader could ever observe the
+  // intermediate versions, so the server ships the union (this is the
+  // server-side answer to TreadMarks' diff accumulation problem; without
+  // it, a page repeatedly rewritten by one processor ships its entire
+  // modification history on first fetch).
+  for (auto& v : needs_by_writer_) v.clear();
+  std::deque<Diff> merged_storage;
+  for (UnitId unit : units) {
+    // Resolve all pending notices of this unit first (needed for the
+    // foreign-interval ordering checks).
+    struct Resolved {
+      const IntervalRecord* rec;
+      const Diff* diff;
+      bool first_materialization;
+    };
+    std::vector<Resolved> all;
+    all.reserve(pending_[unit].size());
+    for (const PendingInterval& pi : pending_[unit]) {
+      DSM_CHECK_NE(pi.proc, id_);
+      const IntervalRecord* rec = shared_.archives[pi.proc]->Find(pi.seq);
+      DSM_CHECK(rec != nullptr)
+          << "missing interval (" << pi.proc << "," << pi.seq << ")";
+      const int di = rec->IndexOf(unit);
+      DSM_CHECK_GE(di, 0) << "interval (" << pi.proc << "," << pi.seq
+                          << ") has no diff for unit " << unit;
+      all.push_back({rec, &rec->diffs[static_cast<std::size_t>(di)],
+                     rec->MarkDiffed(di)});
+    }
+    for (ProcId w = 0; w < nprocs; ++w) {
+      // This writer's intervals, in increasing seq order (pending notices
+      // arrive in acquire order, which respects per-writer seq order).
+      std::vector<const Resolved*> chain_input;
+      for (const Resolved& r : all) {
+        if (r.rec->proc == w) chain_input.push_back(&r);
+      }
+      if (chain_input.empty()) continue;
+
+      // One server-side twin scan per (writer, unit) with any interval not
+      // yet materialized; everything already materialized is served from
+      // the writer's diff cache.
+      bool needs_scan = false;
+      for (const Resolved* r : chain_input) {
+        if (r->first_materialization) needs_scan = true;
+      }
+      const IntervalRecord* chain_first = nullptr;
+      const Diff* chain_diff = nullptr;
+      const IntervalRecord* chain_last = nullptr;
+      auto flush = [&] {
+        needs_by_writer_[w].push_back(
+            {unit, chain_last, chain_diff, 0, needs_scan});
+        needs_scan = false;  // at most one scan per (writer, unit)
+      };
+      shared_.nodes[w]->diff_requested_[unit].store(
+          1, std::memory_order_relaxed);
+      for (const Resolved* r : chain_input) {
+        if (chain_diff == nullptr) {
+          chain_first = r->rec;
+          chain_last = r->rec;
+          chain_diff = r->diff;
+          continue;
+        }
+        // May we absorb r into the chain?  Every foreign interval must be
+        // either not-after the head or after the candidate tail.
+        bool safe = true;
+        for (const Resolved& q : all) {
+          if (q.rec->proc == w) continue;
+          if (chain_first->HappenedBefore(*q.rec) &&
+              !r->rec->HappenedBefore(*q.rec)) {
+            safe = false;
+            break;
+          }
+        }
+        if (safe) {
+          merged_storage.push_back(
+              Diff::Merge(*chain_diff, *r->diff, words_per_unit));
+          chain_diff = &merged_storage.back();
+          chain_last = r->rec;
+        } else {
+          flush();
+          chain_first = r->rec;
+          chain_last = r->rec;
+          chain_diff = r->diff;
+        }
+      }
+      flush();
+    }
+  }
+
+  // One request/response exchange per writer; writers answer in parallel
+  // (paper §4: "those processors can return the diffs in parallel rather
+  // than in sequence").
+  const std::uint32_t first_exchange = comm_stats_.num_exchanges();
+  int num_writers = 0;
+  VirtualNanos slowest_exchange = 0;
+  for (ProcId w = 0; w < nprocs; ++w) {
+    auto& needs = needs_by_writer_[w];
+    if (needs.empty()) continue;
+    ++num_writers;
+    const std::uint32_t ex = comm_stats_.NewExchange(w);
+    std::size_t request_bytes = 16;
+    std::size_t response_bytes = 0;
+    std::uint32_t delivered_words = 0;
+    UnitId last_unit_in_req = ~UnitId{0};
+    for (auto& need : needs) {
+      need.exchange_id = ex;
+      if (need.unit != last_unit_in_req) {
+        request_bytes += 8;  // unit id + timestamp bound per unit requested
+        last_unit_in_req = need.unit;
+      }
+      response_bytes += need.diff->EncodedBytes();
+      delivered_words += static_cast<std::uint32_t>(need.diff->payload_words());
+    }
+    comm_stats_.AddDelivered(
+        ex, delivered_words,
+        static_cast<std::uint32_t>(delivered_words * kWordBytes));
+    net_stats_.Record(MessageKind::kDiffRequest, request_bytes);
+    net_stats_.Record(MessageKind::kDiffResponse, response_bytes);
+    // Server-side cost: request handling plus lazy diff creation — one
+    // twin scan per (unit, writer) whose diffs were not yet materialized.
+    VirtualNanos server = cost.request_service_overhead;
+    for (const auto& need : needs) {
+      if (need.needs_scan) server += cost.DiffCreateCost(unit_bytes_);
+    }
+    const VirtualNanos t =
+        shared_.net.RoundTripTime(request_bytes, response_bytes) + server;
+    slowest_exchange = std::max(slowest_exchange, t);
+  }
+  DSM_CHECK_GT(num_writers, 0);
+  clock_.Advance(slowest_exchange);
+  comm_stats_.RecordFault(num_writers, first_exchange);
+
+  // Apply diffs per unit, in happens-before order (ordered intervals may
+  // overlap words, e.g. migratory data under locks; concurrent intervals
+  // touch disjoint words in race-free programs).
+  const bool track = shared_.config.track_usage;
+  std::vector<NeedEntry> for_unit;
+  for (UnitId unit : units) {
+    for_unit.clear();
+    for (ProcId w = 0; w < nprocs; ++w) {
+      for (const auto& need : needs_by_writer_[w]) {
+        if (need.unit == unit) for_unit.push_back(need);
+      }
+    }
+    // Topological order by selection: repeatedly emit an entry with no
+    // remaining predecessor (the partial order is acyclic).
+    for (std::size_t done = 0; done < for_unit.size(); ++done) {
+      std::size_t pick = done;
+      for (std::size_t i = done; i < for_unit.size(); ++i) {
+        bool has_predecessor = false;
+        for (std::size_t j = done; j < for_unit.size(); ++j) {
+          if (i != j && for_unit[j].rec->HappenedBefore(*for_unit[i].rec)) {
+            has_predecessor = true;
+            break;
+          }
+        }
+        if (!has_predecessor) {
+          pick = i;
+          break;
+        }
+      }
+      std::swap(for_unit[done], for_unit[pick]);
+
+      const NeedEntry& need = for_unit[done];
+      need.diff->Apply(UnitSpan(unit));
+      if (table_.HasTwin(unit)) need.diff->Apply(table_.twin(unit));
+      if (track) {
+        need.diff->ForEachWord([&](std::uint32_t word) {
+          tracker_.Deliver(unit, word, need.exchange_id);
+        });
+      }
+      comm_stats_.counters().diffs_applied += 1;
+      clock_.Advance(cost.DiffApplyCost(need.diff->payload_bytes()));
+    }
+    pending_[unit].clear();
+  }
+}
+
+void Node::CloseInterval() {
+  if (!protocol_enabled()) return;
+  const auto& dirty = table_.dirty_units();
+  if (dirty.empty()) return;
+  const CostModel& cost = shared_.config.cost;
+
+  IntervalRecord rec;
+  rec.proc = id_;
+  rec.seq = ++vc_[id_];
+  rec.units.reserve(dirty.size());
+  rec.diffs.reserve(dirty.size());
+  // Diffs are materialized here for bookkeeping (archived records must be
+  // immutable), but no cost is charged: TreadMarks diffs lazily, so a
+  // release only records write notices.  The diff-creation cost is charged
+  // server-side when a peer actually requests the diff (FetchUnits), and a
+  // unit re-dirtied before any such request re-twins for free.
+  for (UnitId unit : dirty) {
+    rec.units.push_back(unit);
+    rec.diffs.push_back(Diff::Create(table_.twin(unit), UnitSpan(unit)));
+    table_.DropTwin(unit);
+    if (table_.state(unit) == UnitState::kDirty) {
+      table_.set_state(unit, UnitState::kReadValid);
+    }
+    retwin_cheap_[unit] = 1;
+    comm_stats_.counters().diffs_created += 1;
+  }
+  (void)cost;
+  rec.vc = vc_;
+  table_.ClearDirtyList();
+  shared_.archives[id_]->Append(std::move(rec));
+}
+
+std::vector<const IntervalRecord*> Node::CollectNotices(
+    const VectorClock& target, std::size_t* notice_bytes) const {
+  std::vector<const IntervalRecord*> records;
+  std::size_t bytes = 0;
+  for (ProcId p = 0; p < num_procs(); ++p) {
+    if (p == id_) continue;
+    if (target[p] <= notices_seen_[p]) continue;
+    auto range = shared_.archives[p]->Range(notices_seen_[p], target[p]);
+    for (const IntervalRecord* rec : range) {
+      bytes += rec->NoticeBytes();
+      records.push_back(rec);
+    }
+  }
+  if (notice_bytes != nullptr) *notice_bytes = bytes;
+  return records;
+}
+
+void Node::InvalidateFrom(
+    const std::vector<const IntervalRecord*>& records) {
+  const CostModel& cost = shared_.config.cost;
+  for (const IntervalRecord* rec : records) {
+    for (UnitId unit : rec->units) {
+      pending_[unit].push_back({rec->proc, rec->seq});
+      const UnitState s = table_.state(unit);
+      if (s != UnitState::kInvalid) {
+        table_.set_state(unit, UnitState::kInvalid);
+        comm_stats_.counters().units_invalidated += 1;
+        clock_.Advance(cost.mprotect_op);
+      }
+    }
+    notices_seen_[rec->proc] = std::max(notices_seen_[rec->proc], rec->seq);
+  }
+}
+
+std::size_t Node::OutgoingNoticeBytes() {
+  std::size_t bytes = 0;
+  for (const IntervalRecord* rec :
+       shared_.archives[id_]->Range(last_sent_seq_, vc_[id_])) {
+    bytes += rec->NoticeBytes();
+  }
+  last_sent_seq_ = vc_[id_];
+  return bytes;
+}
+
+void Node::Barrier() {
+  if (!protocol_enabled()) return;
+  const CostModel& cost = shared_.config.cost;
+
+  CloseInterval();
+  const std::size_t arrival_bytes = OutgoingNoticeBytes();
+
+  BarrierService::Result res =
+      shared_.barrier->Arrive(id_, vc_, clock_.now(), arrival_bytes);
+
+  std::size_t incoming_bytes = 0;
+  std::vector<const IntervalRecord*> records =
+      CollectNotices(res.global_vc, &incoming_bytes);
+
+  // Modelled barrier cost (centralized manager at proc 0): all clients ship
+  // arrival messages; the manager processes every arrival, then ships
+  // release messages carrying the write notices each client is missing.
+  const VirtualNanos base =
+      res.base_time + shared_.net.RoundTripTime(res.max_arrival_bytes, 0) +
+      cost.barrier_fixed +
+      cost.barrier_per_arrival * (num_procs() - 1);
+  VirtualNanos release_time = base;
+  if (id_ != 0) {
+    release_time += shared_.net.config().ns_per_byte *
+                    static_cast<VirtualNanos>(incoming_bytes);
+    net_stats_.Record(MessageKind::kBarrierArrival, arrival_bytes);
+    net_stats_.Record(MessageKind::kBarrierRelease, incoming_bytes);
+    comm_stats_.counters().sync_messages += 2;
+  }
+  clock_.AdvanceTo(release_time);
+
+  InvalidateFrom(records);
+  vc_.Merge(res.global_vc);
+
+  if (shared_.config.aggregation == AggregationMode::kDynamic) {
+    aggregator_.OnSynchronization();
+  }
+}
+
+void Node::AcquireLock(int lock_id) {
+  if (!protocol_enabled()) return;
+  const CostModel& cost = shared_.config.cost;
+
+  LockService::Grant grant = shared_.locks->Acquire(lock_id, id_);
+  if (grant.cached) {
+    // Token already local: no communication, constant local cost.
+    clock_.Advance(2 * kNanosPerMicro);
+    return;
+  }
+
+  VectorClock target = vc_;
+  target.Merge(grant.release_vc);
+  std::size_t notice_bytes = 0;
+  std::vector<const IntervalRecord*> records =
+      CollectNotices(target, &notice_bytes);
+
+  // Request travels to the manager/holder; the grant returns with the
+  // write notices the acquirer has not yet seen.  The grant cannot arrive
+  // before the previous holder released.
+  clock_.AdvanceTo(grant.release_time);
+  clock_.Advance(shared_.net.RoundTripTime(16, 16 + notice_bytes) +
+                 cost.lock_manager_overhead);
+  net_stats_.Record(MessageKind::kLockRequest, 16);
+  net_stats_.Record(MessageKind::kLockGrant, 16 + notice_bytes);
+  comm_stats_.counters().sync_messages += 2;
+
+  InvalidateFrom(records);
+  vc_.Merge(target);
+
+  if (shared_.config.aggregation == AggregationMode::kDynamic) {
+    aggregator_.OnSynchronization();
+  }
+}
+
+void Node::ReleaseLock(int lock_id) {
+  if (!protocol_enabled()) return;
+  CloseInterval();
+  shared_.locks->Release(lock_id, id_, vc_, clock_.now());
+}
+
+}  // namespace dsm

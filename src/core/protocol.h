@@ -1,0 +1,234 @@
+// Node: one logical DSM processor.
+//
+// Owns the node's private image of the shared address space, its page table
+// (unit protection states + twins), its word tracker, virtual clock, vector
+// clock, pending write notices, and statistics.  Implements the full lazy
+// release consistency + multiple-writer protocol of the paper:
+//
+//   read fault   → fetch diffs from all concurrent writers with pending
+//                  notices (combined per writer; writers answer in
+//                  parallel), apply in happens-before order
+//   write fault  → validate if needed, then twin the unit
+//   release      → close interval: diff every twinned unit, archive, emit
+//                  write notices
+//   acquire      → merge clocks, invalidate units named by newly covered
+//                  write notices
+//
+// With AggregationMode::kDynamic the fault path consults the per-node
+// DynamicAggregator and fetches whole page groups (paper §4).
+//
+// Threading: a Node is driven only by its own thread.  Peers touch a node
+// exclusively through its immutable-once-appended IntervalArchive (under
+// its mutex) and the sync services.
+#pragma once
+
+#include <cstring>
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "core/aggregation.h"
+#include "core/comm_stats.h"
+#include "core/config.h"
+#include "core/sync.h"
+#include "core/vector_clock.h"
+#include "core/write_notice.h"
+#include "mem/global_heap.h"
+#include "mem/page_table.h"
+#include "mem/word_tracker.h"
+#include "net/net_stats.h"
+#include "sim/virtual_clock.h"
+
+namespace dsm {
+
+class Node;
+
+// Everything shared between nodes; owned by Runtime.
+struct SharedState {
+  RuntimeConfig config;
+  GlobalHeap heap;
+  NetworkModel net;
+  std::vector<std::unique_ptr<IntervalArchive>> archives;  // per proc
+  std::unique_ptr<BarrierService> barrier;
+  std::unique_ptr<LockService> locks;
+  // Peer access for the lazy-diffing cost flags; filled in by Runtime
+  // after node construction.
+  std::vector<Node*> nodes;
+
+  explicit SharedState(const RuntimeConfig& cfg);
+};
+
+class Node {
+ public:
+  Node(ProcId id, SharedState& shared);
+
+  ProcId id() const { return id_; }
+  int num_procs() const { return shared_.config.num_procs; }
+
+  // --- application-facing memory access (hot path) -------------------------
+  // `addr` must be word-aligned, `bytes` a multiple of kWordBytes.
+  void ReadBytes(GlobalAddr addr, void* out, std::size_t bytes);
+  void WriteBytes(GlobalAddr addr, const void* in, std::size_t bytes);
+
+  // Charge `flops` floating-point operations of private compute.
+  void Compute(std::uint64_t flops) {
+    clock_.Advance(static_cast<VirtualNanos>(flops) *
+                   shared_.config.cost.flop);
+  }
+
+  // --- synchronization ------------------------------------------------------
+  void Barrier();
+  void AcquireLock(int lock_id);
+  void ReleaseLock(int lock_id);
+
+  // --- introspection ---------------------------------------------------------
+  VirtualClock& clock() { return clock_; }
+  const VirtualClock& clock() const { return clock_; }
+  CommStats& comm_stats() { return comm_stats_; }
+  NetStats& net_stats() { return net_stats_; }
+  PageTable& page_table() { return table_; }
+  WordTracker& word_tracker() { return tracker_; }
+  const VectorClock& vector_clock() const { return vc_; }
+  DynamicAggregator& aggregator() { return aggregator_; }
+  std::byte* image() { return image_.get(); }
+  IntervalArchive& archive() { return *shared_.archives[id_]; }
+
+  // Close the current open interval (normally driven by release/barrier;
+  // public for tests and for Runtime teardown).
+  void CloseInterval();
+
+ private:
+  bool protocol_enabled() const { return shared_.config.num_procs > 1; }
+
+  std::span<std::byte> UnitSpan(UnitId unit) {
+    return {image_.get() + shared_.heap.UnitBase(unit), unit_bytes_};
+  }
+
+  void ReadFault(UnitId unit);
+  void WriteFault(UnitId unit);
+
+  // Make an invalid/updated-invalid unit readable.  Does not charge the
+  // fault trap itself (callers do).
+  void ValidateUnit(UnitId unit);
+
+  // Fetch and apply all pending diffs for `units` (all must have pending
+  // notices), combining requests per writer.  Records exchanges, the fault
+  // record, and all modelled costs.
+  void FetchUnits(const std::vector<UnitId>& units);
+
+  // Mark a clean unit dirty (twin + unprotect).  `cheap` re-twins carry no
+  // modelled cost (lazy-diffing regime, see WriteFault).
+  void TwinUnit(UnitId unit, bool cheap = false);
+
+  // Collect archive records newly covered by `target` (all procs except
+  // self), in (proc, seq) order.  Returns the records and their total
+  // write-notice payload size.
+  std::vector<const IntervalRecord*> CollectNotices(
+      const VectorClock& target, std::size_t* notice_bytes) const;
+
+  // Invalidate the units named in `records` and queue pending notices.
+  void InvalidateFrom(const std::vector<const IntervalRecord*>& records);
+
+  // Write-notice payload this node ships at a release (its own intervals
+  // not yet sent), advancing last_sent_seq_.
+  std::size_t OutgoingNoticeBytes();
+
+  struct PendingInterval {
+    ProcId proc;
+    Seq seq;
+  };
+
+  const ProcId id_;
+  SharedState& shared_;
+  const std::size_t unit_bytes_;
+  const int unit_shift_;
+
+  std::unique_ptr<std::byte[]> image_;
+  PageTable table_;
+  // Lazy-diffing cost model (see protocol.cc): a unit whose twin was just
+  // diffed at a release can be re-dirtied for free — in real TreadMarks
+  // the twin simply persists across the release — unless a peer has since
+  // requested a diff of the unit (which in the lazy regime forces diff
+  // creation, twin discard, and re-protection at the writer).
+  std::vector<std::uint8_t> retwin_cheap_;
+  std::vector<std::atomic<std::uint8_t>> diff_requested_;
+  WordTracker tracker_;
+  std::vector<std::vector<PendingInterval>> pending_;
+  DynamicAggregator aggregator_;
+
+  VirtualClock clock_;
+  VectorClock vc_;
+  // Highest seq per peer whose notices this node has already processed.
+  VectorClock notices_seen_;
+  Seq last_sent_seq_ = 0;
+
+  CommStats comm_stats_;
+  NetStats net_stats_;
+
+  // Scratch buffers reused across faults.
+  struct NeedEntry {
+    UnitId unit;
+    const IntervalRecord* rec;  // latest interval of the coalesced chain
+    const Diff* diff;
+    std::uint32_t exchange_id;
+    bool needs_scan;  // server must materialize (first requester pays)
+  };
+  std::vector<std::vector<NeedEntry>> needs_by_writer_;  // indexed by proc
+};
+
+// ---------------------------------------------------------------------------
+// Hot-path inline definitions.
+// ---------------------------------------------------------------------------
+
+inline void Node::ReadBytes(GlobalAddr addr, void* out, std::size_t bytes) {
+  DSM_DCHECK(addr % kWordBytes == 0 && bytes % kWordBytes == 0);
+  DSM_DCHECK(addr + bytes <= shared_.heap.heap_bytes());
+  auto* dst = static_cast<std::byte*>(out);
+  const bool proto = protocol_enabled();
+  while (bytes > 0) {
+    const UnitId unit = static_cast<UnitId>(addr >> unit_shift_);
+    const std::size_t offset_in_unit = addr & (unit_bytes_ - 1);
+    const std::size_t chunk = std::min(bytes, unit_bytes_ - offset_in_unit);
+    if (proto) {
+      if (table_.NeedsFaultOnRead(unit)) ReadFault(unit);
+      tracker_.OnRead(unit,
+                      static_cast<std::uint32_t>(offset_in_unit / kWordBytes),
+                      static_cast<std::uint32_t>(chunk / kWordBytes),
+                      [this](std::uint32_t msg) { comm_stats_.Credit(msg); });
+    }
+    std::memcpy(dst, image_.get() + addr, chunk);
+    clock_.Advance(static_cast<VirtualNanos>(chunk / kWordBytes) *
+                   shared_.config.cost.shared_access);
+    addr += chunk;
+    dst += chunk;
+    bytes -= chunk;
+  }
+}
+
+inline void Node::WriteBytes(GlobalAddr addr, const void* in,
+                             std::size_t bytes) {
+  DSM_DCHECK(addr % kWordBytes == 0 && bytes % kWordBytes == 0);
+  DSM_DCHECK(addr + bytes <= shared_.heap.heap_bytes());
+  auto* src = static_cast<const std::byte*>(in);
+  const bool proto = protocol_enabled();
+  while (bytes > 0) {
+    const UnitId unit = static_cast<UnitId>(addr >> unit_shift_);
+    const std::size_t offset_in_unit = addr & (unit_bytes_ - 1);
+    const std::size_t chunk = std::min(bytes, unit_bytes_ - offset_in_unit);
+    if (proto) {
+      if (table_.NeedsFaultOnWrite(unit)) WriteFault(unit);
+      tracker_.OnWrite(unit,
+                       static_cast<std::uint32_t>(offset_in_unit / kWordBytes),
+                       static_cast<std::uint32_t>(chunk / kWordBytes));
+    }
+    std::memcpy(image_.get() + addr, src, chunk);
+    clock_.Advance(static_cast<VirtualNanos>(chunk / kWordBytes) *
+                   shared_.config.cost.shared_access);
+    addr += chunk;
+    src += chunk;
+    bytes -= chunk;
+  }
+}
+
+}  // namespace dsm

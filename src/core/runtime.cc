@@ -1,0 +1,68 @@
+#include "core/runtime.h"
+
+#include <algorithm>
+#include <exception>
+#include <sstream>
+#include <thread>
+
+namespace dsm {
+
+std::string RunStats::ToString() const {
+  std::ostringstream out;
+  out << "exec_time: " << exec_seconds() << " s\n";
+  out << comm.ToString();
+  out << "network:\n" << net.ToString();
+  return out.str();
+}
+
+Runtime::Runtime(RuntimeConfig cfg) : shared_(cfg) {
+  nodes_.reserve(cfg.num_procs);
+  for (int p = 0; p < cfg.num_procs; ++p) {
+    nodes_.push_back(std::make_unique<Node>(p, shared_));
+    shared_.nodes.push_back(nodes_.back().get());
+  }
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::Run(const std::function<void(Proc&)>& body) {
+  DSM_CHECK(!ran_) << "Runtime::Run may only be called once";
+  ran_ = true;
+
+  const int nprocs = shared_.config.num_procs;
+  std::vector<std::thread> threads;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto run_one = [&](ProcId p) {
+    Proc proc(*nodes_[p]);
+    try {
+      body(proc);
+    } catch (...) {
+      std::lock_guard lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  threads.reserve(nprocs - 1);
+  for (int p = 1; p < nprocs; ++p) {
+    threads.emplace_back(run_one, p);
+  }
+  run_one(0);
+  for (auto& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+RunStats Runtime::CollectStats() const {
+  RunStats stats;
+  for (const auto& node : nodes_) {
+    stats.node_times.push_back(node->clock().now());
+    stats.exec_time = std::max(stats.exec_time, node->clock().now());
+    stats.comm.Merge(node->comm_stats().Finalize());
+    stats.net.Merge(node->net_stats());
+  }
+  return stats;
+}
+
+}  // namespace dsm

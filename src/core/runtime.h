@@ -1,0 +1,165 @@
+// Public API of the pagedsm library.
+//
+// Typical use (see examples/quickstart.cc):
+//
+//   dsm::RuntimeConfig cfg;
+//   cfg.num_procs = 8;
+//   cfg.pages_per_unit = 2;                  // 8 KB consistency units
+//   dsm::Runtime rt(cfg);
+//   auto grid = rt.Alloc<float>(n, "grid");
+//   rt.Run([&](dsm::Proc& p) {
+//     for (std::size_t i = p.id(); i < n; i += p.nprocs())
+//       p.Write(grid, i, Work(p.Read(grid, i)));
+//     p.Barrier();
+//   });
+//   dsm::RunStats stats = rt.CollectStats();
+//
+// One Runtime = one DSM session: allocate shared memory, run one parallel
+// region (one function executed by every logical processor), then collect
+// the communication statistics and modelled execution time.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "core/protocol.h"
+
+namespace dsm {
+
+// Typed handle to a shared allocation.  Cheap value type; the data lives in
+// the DSM address space and is reached through a Proc.
+template <typename T>
+class SharedArray {
+ public:
+  static_assert(std::is_trivially_copyable_v<T>,
+                "shared data must be trivially copyable");
+  static_assert(sizeof(T) % kWordBytes == 0,
+                "shared element size must be a multiple of the 4-byte word");
+
+  SharedArray() = default;
+  SharedArray(GlobalAddr base, std::size_t count)
+      : base_(base), count_(count) {}
+
+  GlobalAddr base() const { return base_; }
+  std::size_t size() const { return count_; }
+  GlobalAddr addr_of(std::size_t i) const {
+    DSM_DCHECK(i < count_);
+    return base_ + i * sizeof(T);
+  }
+
+ private:
+  GlobalAddr base_ = 0;
+  std::size_t count_ = 0;
+};
+
+// The per-processor handle passed to the parallel body.
+class Proc {
+ public:
+  explicit Proc(Node& node) : node_(node) {}
+
+  ProcId id() const { return node_.id(); }
+  int nprocs() const { return node_.num_procs(); }
+
+  template <typename T>
+  T Read(const SharedArray<T>& a, std::size_t i) {
+    T out;
+    node_.ReadBytes(a.addr_of(i), &out, sizeof(T));
+    return out;
+  }
+
+  template <typename T>
+  void Write(const SharedArray<T>& a, std::size_t i, const T& v) {
+    node_.WriteBytes(a.addr_of(i), &v, sizeof(T));
+  }
+
+  // Raw-address access, for per-field access into shared structs:
+  //   p.ReadAt<float>(bodies.addr_of(i) + offsetof(Body, x))
+  template <typename T>
+  T ReadAt(GlobalAddr addr) {
+    static_assert(sizeof(T) % kWordBytes == 0);
+    T out;
+    node_.ReadBytes(addr, &out, sizeof(T));
+    return out;
+  }
+
+  template <typename T>
+  void WriteAt(GlobalAddr addr, const T& v) {
+    static_assert(sizeof(T) % kWordBytes == 0);
+    node_.WriteBytes(addr, &v, sizeof(T));
+  }
+
+  void Barrier() { node_.Barrier(); }
+  void Lock(int lock_id) { node_.AcquireLock(lock_id); }
+  void Unlock(int lock_id) { node_.ReleaseLock(lock_id); }
+
+  // Charge `flops` of private computation to the virtual clock.
+  void Compute(std::uint64_t flops) { node_.Compute(flops); }
+
+  VirtualNanos now() const { return node_.clock().now(); }
+
+  Node& node() { return node_; }
+
+ private:
+  Node& node_;
+};
+
+// Aggregated results of one Run.
+struct RunStats {
+  VirtualNanos exec_time = 0;  // max over nodes (the run's critical path)
+  std::vector<VirtualNanos> node_times;
+  CommBreakdown comm;
+  NetStats net;
+
+  double exec_seconds() const {
+    return static_cast<double>(exec_time) /
+           static_cast<double>(kNanosPerSecond);
+  }
+  std::string ToString() const;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeConfig cfg);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // Shared-memory allocation; call before Run.
+  template <typename T>
+  SharedArray<T> Alloc(std::size_t count, const char* name = nullptr) {
+    const std::size_t align =
+        alignof(T) > kWordBytes ? alignof(T) : kWordBytes;
+    return SharedArray<T>(
+        shared_.heap.Alloc(count * sizeof(T), align, name), count);
+  }
+
+  // Allocation starting on a consistency-unit boundary.
+  template <typename T>
+  SharedArray<T> AllocUnitAligned(std::size_t count,
+                                  const char* name = nullptr) {
+    return SharedArray<T>(
+        shared_.heap.AllocUnitAligned(count * sizeof(T), name), count);
+  }
+
+  // Execute `body` once per logical processor (proc 0 runs on the calling
+  // thread).  May be called once per Runtime.
+  void Run(const std::function<void(Proc&)>& body);
+
+  // Finalize and merge per-node statistics.  Call after Run.
+  RunStats CollectStats() const;
+
+  const RuntimeConfig& config() const { return shared_.config; }
+  GlobalHeap& heap() { return shared_.heap; }
+  SharedState& shared() { return shared_; }
+  Node& node(ProcId p) { return *nodes_[p]; }
+
+ private:
+  SharedState shared_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  bool ran_ = false;
+};
+
+}  // namespace dsm

@@ -1,0 +1,82 @@
+#include "core/sync.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dsm {
+
+BarrierService::BarrierService(int num_procs)
+    : num_procs_(num_procs), pending_vc_(num_procs) {}
+
+BarrierService::Result BarrierService::Arrive(ProcId proc,
+                                              const VectorClock& vc,
+                                              VirtualNanos arrival_time,
+                                              std::size_t arrival_bytes) {
+  (void)proc;
+  std::unique_lock lock(mutex_);
+  pending_vc_.Merge(vc);
+  max_arrival_ = std::max(max_arrival_, arrival_time);
+  max_bytes_ = std::max(max_bytes_, arrival_bytes);
+  ++arrived_;
+
+  const std::uint64_t my_generation = generation_;
+  if (arrived_ == num_procs_) {
+    current_ = Result{pending_vc_, max_arrival_, max_bytes_};
+    // Reset for the next generation.
+    arrived_ = 0;
+    max_arrival_ = 0;
+    max_bytes_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return current_;
+  }
+  cv_.wait(lock, [&] { return generation_ != my_generation; });
+  return current_;
+}
+
+std::uint64_t BarrierService::barriers_completed() const {
+  return generation_;
+}
+
+LockService::LockService(int num_locks, int num_procs)
+    : num_procs_(num_procs) {
+  DSM_CHECK_GT(num_locks, 0);
+  locks_.resize(num_locks);
+  for (auto& l : locks_) l.release_vc = VectorClock(num_procs);
+}
+
+LockService::Grant LockService::Acquire(int lock_id, ProcId proc) {
+  std::unique_lock lock(mutex_);
+  LockState& st = locks_[lock_id];
+  if (st.held || !st.queue.empty()) {
+    st.queue.push_back(proc);
+    cv_.wait(lock, [&] { return !st.held && st.queue.front() == proc; });
+    st.queue.pop_front();
+  }
+  st.held = true;
+  const bool cached = (st.owner == proc);
+  if (!cached) ++st.transfers;
+  Grant grant{st.release_vc, st.release_time, cached};
+  st.owner = proc;
+  return grant;
+}
+
+void LockService::Release(int lock_id, ProcId proc, const VectorClock& vc,
+                          VirtualNanos time) {
+  std::lock_guard lock(mutex_);
+  LockState& st = locks_[lock_id];
+  DSM_CHECK(st.held) << "release of lock " << lock_id << " not held";
+  DSM_CHECK_EQ(st.owner, proc);
+  st.held = false;
+  st.release_vc = vc;
+  st.release_time = time;
+  cv_.notify_all();
+}
+
+std::uint64_t LockService::transfers(int lock_id) const {
+  std::lock_guard lock(mutex_);
+  return locks_[lock_id].transfers;
+}
+
+}  // namespace dsm

@@ -1,0 +1,92 @@
+// Synchronization services: barrier rendezvous and queued locks.
+//
+// These are *host-level* rendezvous mechanisms; all protocol semantics
+// (interval closing, write-notice exchange, invalidation) and all modelled
+// costs are applied by the calling Node (core/protocol.h).  The services
+// only move vector clocks, virtual times, and payload sizes between
+// threads, mirroring TreadMarks' centralized barrier manager and
+// distributed queued locks.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "core/vector_clock.h"
+#include "sim/virtual_clock.h"
+
+namespace dsm {
+
+// Centralized barrier manager (proc 0 is the manager, as in TreadMarks).
+class BarrierService {
+ public:
+  explicit BarrierService(int num_procs);
+
+  struct Result {
+    VectorClock global_vc;      // max over all arrivals
+    VirtualNanos base_time;     // modelled manager release time
+    std::size_t max_arrival_bytes = 0;
+  };
+
+  // Blocks until all processors arrive.  `arrival_time` is the caller's
+  // virtual clock at arrival and `arrival_bytes` the write-notice payload
+  // it ships to the manager.  The last arriver computes the result.
+  // The modelled cost formula lives in the caller (Node::Barrier), which
+  // combines this result with the network/cost models.
+  Result Arrive(ProcId proc, const VectorClock& vc, VirtualNanos arrival_time,
+                std::size_t arrival_bytes);
+
+  std::uint64_t barriers_completed() const;
+
+ private:
+  const int num_procs_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  VectorClock pending_vc_;
+  VirtualNanos max_arrival_ = 0;
+  std::size_t max_bytes_ = 0;
+  Result current_;
+};
+
+// FIFO-queued DSM locks with last-owner caching: re-acquiring a lock that
+// no other processor touched since the caller's last release is a local
+// operation (TreadMarks keeps lock tokens at the last owner).
+class LockService {
+ public:
+  LockService(int num_locks, int num_procs);
+
+  struct Grant {
+    VectorClock release_vc;      // releaser's clock at release
+    VirtualNanos release_time;   // releaser's virtual time at release
+    bool cached;                 // true → caller already owned the token
+  };
+
+  // Blocks until the lock is granted (FIFO among waiters).
+  Grant Acquire(int lock_id, ProcId proc);
+
+  void Release(int lock_id, ProcId proc, const VectorClock& vc,
+               VirtualNanos time);
+
+  std::uint64_t transfers(int lock_id) const;
+
+ private:
+  struct LockState {
+    bool held = false;
+    ProcId owner = -1;  // last holder (token location)
+    std::deque<ProcId> queue;
+    VectorClock release_vc;
+    VirtualNanos release_time = 0;
+    std::uint64_t transfers = 0;
+  };
+
+  const int num_procs_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<LockState> locks_;
+};
+
+}  // namespace dsm

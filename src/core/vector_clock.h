@@ -1,0 +1,43 @@
+// Vector timestamps for lazy release consistency (paper §2; Keleher et al.).
+//
+// Each processor p maintains VC_p; entry VC_p[q] is the latest interval of
+// processor q whose modifications p is guaranteed to see.  An acquire
+// merges the releaser's clock into the acquirer's; the write notices of all
+// newly-covered intervals invalidate the corresponding consistency units.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mem/types.h"
+
+namespace dsm {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(int num_procs) : entries_(num_procs, 0) {}
+
+  Seq operator[](ProcId p) const { return entries_[p]; }
+  Seq& operator[](ProcId p) { return entries_[p]; }
+
+  int size() const { return static_cast<int>(entries_.size()); }
+
+  // Elementwise maximum (the acquire operation on clocks).
+  void Merge(const VectorClock& other);
+
+  // True iff every entry of *this is <= the corresponding entry of other.
+  bool DominatedBy(const VectorClock& other) const;
+
+  // True iff the interval (proc, seq) is covered by this clock.
+  bool Covers(ProcId proc, Seq seq) const { return entries_[proc] >= seq; }
+
+  bool operator==(const VectorClock& other) const = default;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Seq> entries_;
+};
+
+}  // namespace dsm

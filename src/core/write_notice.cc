@@ -1,0 +1,66 @@
+#include "core/write_notice.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dsm {
+
+const Diff* IntervalRecord::DiffFor(UnitId unit) const {
+  const int i = IndexOf(unit);
+  return i < 0 ? nullptr : &diffs[static_cast<std::size_t>(i)];
+}
+
+int IntervalRecord::IndexOf(UnitId unit) const {
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    if (units[i] == unit) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const IntervalRecord* IntervalArchive::Append(IntervalRecord record) {
+  std::lock_guard lock(mutex_);
+  DSM_CHECK(records_.empty() || records_.back().seq < record.seq)
+      << "archive appends must be in increasing seq order";
+  DSM_CHECK_EQ(record.units.size(), record.diffs.size());
+  record.diffed =
+      std::make_unique<std::atomic<std::uint8_t>[]>(record.units.size());
+  records_.push_back(std::move(record));
+  return &records_.back();
+}
+
+const IntervalRecord* IntervalArchive::Find(Seq seq) const {
+  std::lock_guard lock(mutex_);
+  auto it = std::lower_bound(
+      records_.begin(), records_.end(), seq,
+      [](const IntervalRecord& r, Seq s) { return r.seq < s; });
+  if (it == records_.end() || it->seq != seq) return nullptr;
+  return &*it;
+}
+
+std::vector<const IntervalRecord*> IntervalArchive::Range(Seq from,
+                                                          Seq to) const {
+  std::lock_guard lock(mutex_);
+  std::vector<const IntervalRecord*> out;
+  auto it = std::upper_bound(
+      records_.begin(), records_.end(), from,
+      [](Seq s, const IntervalRecord& r) { return s < r.seq; });
+  for (; it != records_.end() && it->seq <= to; ++it) out.push_back(&*it);
+  return out;
+}
+
+std::size_t IntervalArchive::size() const {
+  std::lock_guard lock(mutex_);
+  return records_.size();
+}
+
+std::size_t IntervalArchive::TotalDiffBytes() const {
+  std::lock_guard lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& r : records_) {
+    for (const auto& d : r.diffs) total += d.EncodedBytes();
+  }
+  return total;
+}
+
+}  // namespace dsm

@@ -1,0 +1,87 @@
+// Intervals, write notices, and the per-node interval archive.
+//
+// When a processor's interval closes (at a release: lock release or barrier
+// arrival), the protocol diffs every twinned unit and archives an
+// IntervalRecord: the list of modified units (the *write notices*) plus the
+// diffs themselves.  We create diffs eagerly at interval close (TreadMarks
+// creates them lazily on first request) — see DESIGN.md §4: archived
+// records become immutable, which lets a faulting peer read them under a
+// short mutex without coordinating with the owner's thread, mirroring
+// TreadMarks' asynchronous request handlers.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/vector_clock.h"
+#include "mem/diff.h"
+#include "mem/types.h"
+
+namespace dsm {
+
+// A closed interval of one processor: seq, the vector clock at close time,
+// and the modified units with their diffs.
+struct IntervalRecord {
+  ProcId proc = -1;
+  Seq seq = 0;
+  VectorClock vc;  // clock at close; vc[proc] == seq
+  std::vector<UnitId> units;
+  std::vector<Diff> diffs;  // parallel to `units`
+  // Lazy-diffing cost model: diffed[i] != 0 once some requester has paid
+  // for materializing the diff of units[i]; later requesters are served
+  // from the writer's diff cache for free.  (The Diff objects themselves
+  // are always materialized eagerly for bookkeeping — archived records
+  // must be immutable for lock-free peer reads.)
+  std::unique_ptr<std::atomic<std::uint8_t>[]> diffed;
+
+  // Returns nullptr when this interval did not modify `unit`.
+  const Diff* DiffFor(UnitId unit) const;
+  // Index of `unit` within units/diffs, or -1.
+  int IndexOf(UnitId unit) const;
+  // Marks units[i] as materialized; returns true if this call was first.
+  bool MarkDiffed(int i) const {
+    return diffed[i].exchange(1, std::memory_order_relaxed) == 0;
+  }
+
+  // Serialized size of this interval's write notices on a sync message
+  // (per notice: unit id + interval id; plus a small interval header).
+  std::size_t NoticeBytes() const { return 16 + units.size() * 8; }
+
+  // True iff this interval happened-before `other` (LRC partial order):
+  // other's close-time clock covers this interval.
+  bool HappenedBefore(const IntervalRecord& other) const {
+    return other.vc.Covers(proc, seq);
+  }
+};
+
+// Append-only archive of one node's closed intervals.  The owner appends at
+// interval close; peers look up records while handling faults or merging
+// barrier notices.  std::deque keeps references to existing records stable
+// across appends, but all access still takes the mutex (deque bookkeeping
+// itself is not thread-safe); lookups return stable pointers that remain
+// valid after the mutex is released.
+class IntervalArchive {
+ public:
+  // Appends a record (records must arrive in increasing seq order).
+  // Returns a stable pointer to the stored record.
+  const IntervalRecord* Append(IntervalRecord record);
+
+  // Record with exact seq, or nullptr (seqs may have gaps: empty intervals
+  // are never archived).
+  const IntervalRecord* Find(Seq seq) const;
+
+  // All records with from < seq <= to, in increasing seq order.
+  std::vector<const IntervalRecord*> Range(Seq from, Seq to) const;
+
+  std::size_t size() const;
+  std::size_t TotalDiffBytes() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<IntervalRecord> records_;
+};
+
+}  // namespace dsm

@@ -1,0 +1,85 @@
+#include "mem/diff.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace dsm {
+
+Diff Diff::Create(std::span<const std::byte> twin,
+                  std::span<const std::byte> current) {
+  DSM_CHECK_EQ(twin.size(), current.size());
+  DSM_CHECK_EQ(twin.size() % kWordBytes, 0u);
+  const std::size_t num_words = twin.size() / kWordBytes;
+
+  Diff diff;
+  const auto* tw = reinterpret_cast<const std::uint32_t*>(twin.data());
+  const auto* cur = reinterpret_cast<const std::uint32_t*>(current.data());
+
+  std::size_t i = 0;
+  while (i < num_words) {
+    if (tw[i] == cur[i]) {
+      ++i;
+      continue;
+    }
+    const std::size_t run_start = i;
+    while (i < num_words && tw[i] != cur[i]) ++i;
+    diff.runs_.push_back({static_cast<std::uint32_t>(run_start),
+                          static_cast<std::uint32_t>(i - run_start)});
+    diff.payload_.insert(diff.payload_.end(), cur + run_start, cur + i);
+  }
+  return diff;
+}
+
+Diff Diff::Merge(const Diff& older, const Diff& newer,
+                 std::size_t words_per_unit) {
+  std::vector<std::uint32_t> value(words_per_unit, 0);
+  std::vector<bool> written(words_per_unit, false);
+  auto absorb = [&](const Diff& d) {
+    std::size_t payload_pos = 0;
+    for (const DiffRun& run : d.runs_) {
+      DSM_CHECK_LE(static_cast<std::size_t>(run.word_offset) + run.word_count,
+                   words_per_unit);
+      for (std::uint32_t i = 0; i < run.word_count; ++i) {
+        value[run.word_offset + i] = d.payload_[payload_pos + i];
+        written[run.word_offset + i] = true;
+      }
+      payload_pos += run.word_count;
+    }
+  };
+  absorb(older);
+  absorb(newer);
+
+  Diff merged;
+  std::size_t i = 0;
+  while (i < words_per_unit) {
+    if (!written[i]) {
+      ++i;
+      continue;
+    }
+    const std::size_t run_start = i;
+    while (i < words_per_unit && written[i]) ++i;
+    merged.runs_.push_back({static_cast<std::uint32_t>(run_start),
+                            static_cast<std::uint32_t>(i - run_start)});
+    merged.payload_.insert(merged.payload_.end(), value.begin() + run_start,
+                           value.begin() + i);
+  }
+  return merged;
+}
+
+void Diff::Apply(std::span<std::byte> dst) const {
+  auto* out = reinterpret_cast<std::uint32_t*>(dst.data());
+  const std::size_t num_words = dst.size() / kWordBytes;
+  std::size_t payload_pos = 0;
+  for (const DiffRun& run : runs_) {
+    DSM_CHECK_LE(static_cast<std::size_t>(run.word_offset) + run.word_count,
+                 num_words)
+        << "diff run exceeds destination unit";
+    std::memcpy(out + run.word_offset, payload_.data() + payload_pos,
+                run.word_count * kWordBytes);
+    payload_pos += run.word_count;
+  }
+  DSM_CHECK_EQ(payload_pos, payload_.size());
+}
+
+}  // namespace dsm

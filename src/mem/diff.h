@@ -1,0 +1,81 @@
+// Twin/diff machinery of the multiple-writer protocol (paper §2).
+//
+// On the first write to a clean unit the protocol copies it (the *twin*).
+// When the writer's interval closes, the twin is word-compared against the
+// working copy to produce a *diff*: a run-length-encoded record of modified
+// words.  A reader merges concurrent diffs by applying them in turn; for
+// race-free programs concurrent diffs touch disjoint words, so application
+// order between concurrent writers does not matter.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mem/types.h"
+
+namespace dsm {
+
+// One maximal run of consecutive modified words.
+struct DiffRun {
+  std::uint32_t word_offset;  // first modified word, relative to unit base
+  std::uint32_t word_count;   // number of consecutive modified words
+};
+
+class Diff {
+ public:
+  Diff() = default;
+
+  // Word-compare `twin` against `current` (both unit-sized, same length,
+  // length a multiple of kWordBytes) and record the words that differ.
+  static Diff Create(std::span<const std::byte> twin,
+                     std::span<const std::byte> current);
+
+  // Scatter the recorded words into `dst` (a unit-sized buffer).
+  void Apply(std::span<std::byte> dst) const;
+
+  // Coalesce two diffs of the same unit from the same writer, `newer`
+  // taking precedence on overlapping words.  Used to combat diff
+  // accumulation: when a reader fetches several consecutive intervals of
+  // one writer and no foreign interval is ordered between them, the
+  // intermediate versions of overlapping words can never be observed, so
+  // the server ships one combined diff (`words_per_unit` bounds offsets).
+  static Diff Merge(const Diff& older, const Diff& newer,
+                    std::size_t words_per_unit);
+
+  bool empty() const { return runs_.empty(); }
+  std::size_t num_runs() const { return runs_.size(); }
+  std::size_t payload_words() const { return payload_.size(); }
+  std::size_t payload_bytes() const { return payload_.size() * kWordBytes; }
+
+  // Wire size: header + per-run descriptors + payload.  Used for message
+  // byte accounting and bandwidth timing.
+  std::size_t EncodedBytes() const {
+    return kHeaderBytes + runs_.size() * kRunDescriptorBytes +
+           payload_bytes();
+  }
+
+  const std::vector<DiffRun>& runs() const { return runs_; }
+  const std::vector<std::uint32_t>& payload() const { return payload_; }
+
+  // Enumerate the unit-relative word offsets this diff writes, in order.
+  // `fn` is called once per word.
+  template <typename Fn>
+  void ForEachWord(Fn&& fn) const {
+    for (const DiffRun& run : runs_) {
+      for (std::uint32_t i = 0; i < run.word_count; ++i) {
+        fn(run.word_offset + i);
+      }
+    }
+  }
+
+  static constexpr std::size_t kHeaderBytes = 16;
+  static constexpr std::size_t kRunDescriptorBytes = 8;
+
+ private:
+  std::vector<DiffRun> runs_;
+  std::vector<std::uint32_t> payload_;  // modified words, run by run
+};
+
+}  // namespace dsm

@@ -1,0 +1,48 @@
+#include "mem/page_table.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace dsm {
+
+const char* UnitStateName(UnitState s) {
+  switch (s) {
+    case UnitState::kReadValid:
+      return "read_valid";
+    case UnitState::kDirty:
+      return "dirty";
+    case UnitState::kInvalid:
+      return "invalid";
+    case UnitState::kUpdatedInvalid:
+      return "updated_invalid";
+  }
+  return "unknown";
+}
+
+PageTable::PageTable(std::size_t num_units, std::size_t unit_bytes)
+    : unit_bytes_(unit_bytes),
+      states_(num_units, UnitState::kReadValid),
+      twins_(num_units) {}
+
+void PageTable::MakeTwin(UnitId unit, std::span<const std::byte> current) {
+  DSM_CHECK_EQ(current.size(), unit_bytes_);
+  DSM_CHECK(twins_[unit] == nullptr)
+      << "unit " << unit << " already twinned";
+  twins_[unit] = std::make_unique<std::byte[]>(unit_bytes_);
+  std::memcpy(twins_[unit].get(), current.data(), unit_bytes_);
+}
+
+std::span<std::byte> PageTable::twin(UnitId unit) {
+  DSM_CHECK(twins_[unit] != nullptr) << "unit " << unit << " has no twin";
+  return {twins_[unit].get(), unit_bytes_};
+}
+
+std::span<const std::byte> PageTable::twin(UnitId unit) const {
+  DSM_CHECK(twins_[unit] != nullptr) << "unit " << unit << " has no twin";
+  return {twins_[unit].get(), unit_bytes_};
+}
+
+void PageTable::DropTwin(UnitId unit) { twins_[unit].reset(); }
+
+}  // namespace dsm

@@ -1,0 +1,33 @@
+// Shared primitive types for the paged-memory substrate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dsm {
+
+// Byte offset into the global shared address space.
+using GlobalAddr = std::uint64_t;
+
+// Index of a consistency unit (page, or aggregate of pages).
+using UnitId = std::uint32_t;
+
+// Index of a 4-byte word in the global address space.
+using WordIndex = std::uint64_t;
+
+// Logical processor id, 0-based.
+using ProcId = int;
+
+// Per-processor interval sequence number (1-based; 0 = "nothing seen").
+using Seq = std::uint32_t;
+
+// The paper's word granularity: diffs and usefulness classification operate
+// on 32-bit words, matching TreadMarks on 32-bit Pentiums.
+constexpr std::size_t kWordBytes = 4;
+
+// Hardware VM page size of the paper's platform.
+constexpr std::size_t kBasePageBytes = 4096;
+
+constexpr WordIndex ToWordIndex(GlobalAddr addr) { return addr / kWordBytes; }
+
+}  // namespace dsm

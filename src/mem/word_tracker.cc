@@ -1,0 +1,32 @@
+#include "mem/word_tracker.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace dsm {
+
+WordTracker::WordTracker(std::size_t num_units, std::size_t words_per_unit)
+    : words_per_unit_(words_per_unit), units_(num_units) {}
+
+void WordTracker::EnsureUnit(UnitId unit) {
+  if (units_[unit] == nullptr) {
+    units_[unit] = std::make_unique<std::uint32_t[]>(words_per_unit_);
+    std::memset(units_[unit].get(), 0,
+                words_per_unit_ * sizeof(std::uint32_t));
+  }
+}
+
+void WordTracker::Deliver(UnitId unit, std::uint32_t word_in_unit,
+                          std::uint32_t msg_id) {
+  DSM_DCHECK(word_in_unit < words_per_unit_);
+  EnsureUnit(unit);
+  units_[unit][word_in_unit] = msg_id + 1;
+}
+
+std::uint32_t WordTracker::Tag(UnitId unit, std::uint32_t word_in_unit) const {
+  if (units_[unit] == nullptr) return 0;
+  return units_[unit][word_in_unit];
+}
+
+}  // namespace dsm

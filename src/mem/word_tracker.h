@@ -1,0 +1,74 @@
+// Word-level usefulness instrumentation (paper §5.3).
+//
+// The authors instrumented all loads/stores and diff applications:
+//   "After applying a diff to a region of a page, if a word from that
+//    region is read before being overwritten, that word is counted as
+//    useful data.  If a word is never read or overwritten before being
+//    read, it is counted as useless data.  A useless message is a message
+//    that carries no useful data."
+//
+// WordTracker implements exactly that, per node.  Every word delivered by a
+// diff is marked *fresh* and tagged with the delivering message's id.  The
+// first subsequent local read credits the message with one useful word and
+// clears the mark; a local write clears the mark without credit; a newer
+// delivery overwrites the tag (the older message never gets the credit).
+// At finalization, a message's useless words = delivered − credited.
+//
+// Storage is one uint32 per word, allocated lazily per consistency unit, so
+// only units that ever receive diffs pay for tracking.  Value 0 = not
+// fresh; value v>0 = fresh from message id v-1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/types.h"
+
+namespace dsm {
+
+class WordTracker {
+ public:
+  // `words_per_unit` = unit_bytes / kWordBytes.
+  WordTracker(std::size_t num_units, std::size_t words_per_unit);
+
+  // A diff from message `msg_id` wrote the word at (unit, word_in_unit).
+  void Deliver(UnitId unit, std::uint32_t word_in_unit, std::uint32_t msg_id);
+
+  // Local read of `count` consecutive words.  Calls `credit(msg_id)` once
+  // per fresh word consumed.  Hot path: units that never received a diff
+  // take a single null-pointer check.
+  template <typename Fn>
+  void OnRead(UnitId unit, std::uint32_t word_in_unit, std::uint32_t count,
+              Fn&& credit) {
+    std::uint32_t* tags = units_[unit].get();
+    if (tags == nullptr) return;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::uint32_t& tag = tags[word_in_unit + i];
+      if (tag != 0) {
+        credit(tag - 1);
+        tag = 0;
+      }
+    }
+  }
+
+  // Local write of `count` consecutive words: fresh marks die uncredited.
+  void OnWrite(UnitId unit, std::uint32_t word_in_unit, std::uint32_t count) {
+    std::uint32_t* tags = units_[unit].get();
+    if (tags == nullptr) return;
+    for (std::uint32_t i = 0; i < count; ++i) tags[word_in_unit + i] = 0;
+  }
+
+  bool HasTracking(UnitId unit) const { return units_[unit] != nullptr; }
+
+  // Testing hook: raw tag for one word (0 = not fresh).
+  std::uint32_t Tag(UnitId unit, std::uint32_t word_in_unit) const;
+
+ private:
+  void EnsureUnit(UnitId unit);
+
+  std::size_t words_per_unit_;
+  std::vector<std::unique_ptr<std::uint32_t[]>> units_;
+};
+
+}  // namespace dsm

@@ -1,0 +1,38 @@
+#include "net/network_model.h"
+
+#include "common/check.h"
+
+namespace dsm {
+
+const char* MessageKindName(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kDiffRequest:
+      return "diff_request";
+    case MessageKind::kDiffResponse:
+      return "diff_response";
+    case MessageKind::kBarrierArrival:
+      return "barrier_arrival";
+    case MessageKind::kBarrierRelease:
+      return "barrier_release";
+    case MessageKind::kLockRequest:
+      return "lock_request";
+    case MessageKind::kLockGrant:
+      return "lock_grant";
+    case MessageKind::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+VirtualNanos NetworkModel::OneWayTime(std::size_t payload_bytes) const {
+  const std::size_t wire_bytes = payload_bytes + config_.wire_header_bytes;
+  return config_.fixed_oneway +
+         config_.ns_per_byte * static_cast<VirtualNanos>(wire_bytes);
+}
+
+VirtualNanos NetworkModel::RoundTripTime(std::size_t request_bytes,
+                                         std::size_t response_bytes) const {
+  return OneWayTime(request_bytes) + OneWayTime(response_bytes);
+}
+
+}  // namespace dsm

@@ -1,0 +1,68 @@
+// Simulated cluster interconnect.
+//
+// Stands in for the paper's 100 Mbps switched Ethernet + UDP/IP stack.  The
+// model is latency + bandwidth + fixed per-message CPU cost, calibrated to
+// the paper's measured platform numbers (§5.1):
+//
+//     1-byte round trip = 296 µs   →  one-way fixed cost 147.92 µs
+//     100 Mbps          = 12.5 MB/s →  80 ns per byte on the wire
+//
+// What matters for reproducing the paper is the *ratio* between the cost of
+// an extra message and the cost of extra bytes on an existing message
+// (~148 µs vs. 80 ns/B ≈ 1850 B of data per message-equivalent); that ratio
+// is what makes useless messages first-order and useless data second-order
+// (paper §2), and it is preserved exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/virtual_clock.h"
+
+namespace dsm {
+
+enum class MessageKind : std::uint8_t {
+  kDiffRequest = 0,
+  kDiffResponse,
+  kBarrierArrival,
+  kBarrierRelease,
+  kLockRequest,
+  kLockGrant,
+  kCount,  // sentinel
+};
+
+constexpr std::size_t kNumMessageKinds =
+    static_cast<std::size_t>(MessageKind::kCount);
+
+const char* MessageKindName(MessageKind kind);
+
+struct NetworkConfig {
+  // Fixed one-way cost (send-side CPU + wire latency + receive-side CPU).
+  VirtualNanos fixed_oneway = 147'920;  // 147.92 µs
+  // Wire + copy cost per payload byte (12.5 MB/s → 80 ns/B).
+  VirtualNanos ns_per_byte = 80;
+  // Bytes of UDP/IP + protocol header charged to every message's wire time
+  // (not counted as data in statistics).
+  std::size_t wire_header_bytes = 60;
+};
+
+// Pure timing model — stateless, shared by all nodes.
+class NetworkModel {
+ public:
+  NetworkModel() = default;
+  explicit NetworkModel(const NetworkConfig& config) : config_(config) {}
+
+  const NetworkConfig& config() const { return config_; }
+
+  // Time for one message carrying `payload_bytes` to cross the network.
+  VirtualNanos OneWayTime(std::size_t payload_bytes) const;
+
+  // Request/response exchange with the given payload sizes.
+  VirtualNanos RoundTripTime(std::size_t request_bytes,
+                             std::size_t response_bytes) const;
+
+ private:
+  NetworkConfig config_;
+};
+
+}  // namespace dsm

@@ -1,0 +1,8 @@
+#include "sim/cost_model.h"
+
+// CostModel is a plain aggregate of calibrated constants; the inline
+// helpers live in the header.  This translation unit exists so the module
+// has a home for future non-inline cost functions (e.g., a measured-host
+// calibration mode) without touching every dependent target.
+
+namespace dsm {}  // namespace dsm

@@ -1,0 +1,273 @@
+// Static aggregation (paper §3) and dynamic page grouping (paper §4):
+// scenario tests for the worked examples in the paper, aggregator unit
+// tests, and sync/lock service behaviour.
+#include <gtest/gtest.h>
+
+#include "core/aggregation.h"
+#include "core/runtime.h"
+
+namespace dsm {
+namespace {
+
+RuntimeConfig Config(int nprocs, AggregationMode mode, int ppu,
+                     int max_group = 4) {
+  RuntimeConfig cfg;
+  cfg.num_procs = nprocs;
+  cfg.heap_bytes = 1u << 20;
+  cfg.aggregation = mode;
+  cfg.pages_per_unit = ppu;
+  cfg.max_group_pages = max_group;
+  return cfg;
+}
+
+// --- DynamicAggregator unit behaviour ---------------------------------------
+
+TEST(DynamicAggregator, GroupsFormFromAccessOrder) {
+  DynamicAggregator agg(16, 4);
+  agg.RecordAccess(3);
+  agg.RecordAccess(9);   // non-contiguous on purpose
+  agg.RecordAccess(1);
+  agg.OnSynchronization();
+  const auto group = agg.GroupOf(9);
+  ASSERT_EQ(group.size(), 3u);
+  EXPECT_EQ(group[0], 3u);
+  EXPECT_EQ(group[1], 9u);
+  EXPECT_EQ(group[2], 1u);
+}
+
+TEST(DynamicAggregator, SingleAccessFormsNoGroup) {
+  DynamicAggregator agg(16, 4);
+  agg.RecordAccess(5);
+  agg.OnSynchronization();
+  EXPECT_TRUE(agg.GroupOf(5).empty());
+}
+
+TEST(DynamicAggregator, GroupsCapAtMaxPages) {
+  DynamicAggregator agg(16, 3);
+  for (UnitId u = 0; u < 7; ++u) agg.RecordAccess(u);
+  agg.OnSynchronization();
+  EXPECT_EQ(agg.GroupOf(0).size(), 3u);
+  EXPECT_EQ(agg.GroupOf(3).size(), 3u);
+  // 7 = 3 + 3 + 1; the trailing singleton is ungrouped.
+  EXPECT_TRUE(agg.GroupOf(6).empty());
+}
+
+TEST(DynamicAggregator, RepeatedAccessRecordedOncePerInterval) {
+  DynamicAggregator agg(16, 4);
+  agg.RecordAccess(2);
+  agg.RecordAccess(2);
+  agg.RecordAccess(2);
+  EXPECT_EQ(agg.accesses_this_interval(), 1u);
+}
+
+TEST(DynamicAggregator, GroupsPersistAcrossQuietIntervals) {
+  DynamicAggregator agg(16, 4);
+  agg.RecordAccess(0);
+  agg.RecordAccess(1);
+  agg.OnSynchronization();
+  ASSERT_EQ(agg.GroupOf(0).size(), 2u);
+  // Two synchronizations with no accesses: the group must survive (this is
+  // what lets ILINK's master keep its groups through the slave phases).
+  agg.OnSynchronization();
+  agg.OnSynchronization();
+  EXPECT_EQ(agg.GroupOf(0).size(), 2u);
+}
+
+TEST(DynamicAggregator, UnconsumedPrefetchSplitsMember) {
+  DynamicAggregator agg(16, 4);
+  agg.RecordAccess(0);
+  agg.RecordAccess(1);
+  agg.RecordAccess(2);
+  agg.OnSynchronization();
+  ASSERT_EQ(agg.GroupOf(0).size(), 3u);
+  // Next interval: 1 and 2 are prefetched with 0, but only 1 is accessed.
+  agg.RecordAccess(0);
+  agg.NotifyPrefetched(1);
+  agg.NotifyPrefetched(2);
+  agg.RecordAccess(1);  // consumes the prefetch of 1
+  agg.OnSynchronization();
+  // 2 left the group (pattern change); 0 and 1 were re-grouped together.
+  EXPECT_TRUE(agg.GroupOf(2).empty());
+  ASSERT_EQ(agg.GroupOf(0).size(), 2u);
+  EXPECT_EQ(agg.GroupOf(1).size(), 2u);
+}
+
+TEST(DynamicAggregator, ShrunkGroupOfOneDissolves) {
+  DynamicAggregator agg(16, 2);
+  agg.RecordAccess(0);
+  agg.RecordAccess(1);
+  agg.OnSynchronization();
+  agg.NotifyPrefetched(1);  // 1 prefetched, never accessed
+  agg.OnSynchronization();
+  EXPECT_TRUE(agg.GroupOf(1).empty());
+  EXPECT_TRUE(agg.GroupOf(0).empty());  // a 1-page group is no group
+}
+
+// --- paper §3 static aggregation scenarios ----------------------------------
+
+// "p1 writes two contiguous pages, synchronizes, p2 reads both": two
+// exchanges at 4 K become one at 8 K with the same data volume.
+TEST(StaticAggregation, TwoPagesOneWriterAggregatesMessages) {
+  std::uint64_t msgs[2], bytes[2];
+  for (int ppu = 1; ppu <= 2; ++ppu) {
+    Runtime rt(Config(2, AggregationMode::kStatic, ppu));
+    const std::size_t n = 2 * kBasePageBytes / sizeof(int);  // two pages
+    auto a = rt.AllocUnitAligned<int>(n, "pages");
+    rt.Run([&](Proc& p) {
+      if (p.id() == 0) {
+        for (std::size_t i = 0; i < n; ++i) p.Write(a, i, 1 + (int)i);
+      }
+      p.Barrier();
+      if (p.id() == 1) {
+        for (std::size_t i = 0; i < n; ++i) (void)p.Read(a, i);
+      }
+    });
+    RunStats s = rt.CollectStats();
+    msgs[ppu - 1] = s.comm.useful_messages + s.comm.useless_messages;
+    bytes[ppu - 1] = s.comm.total_data_bytes();
+  }
+  EXPECT_EQ(msgs[0], 4u);  // two exchanges
+  EXPECT_EQ(msgs[1], 2u);  // one exchange
+  EXPECT_EQ(bytes[0], bytes[1]);  // same data either way
+}
+
+// Variation: p2 reads only the first page → at 8 K the message count stays
+// one but the data doubles (the second page travels uselessly).
+TEST(StaticAggregation, PartialReadGrowsUselessData) {
+  std::uint64_t piggy[2];
+  for (int ppu = 1; ppu <= 2; ++ppu) {
+    Runtime rt(Config(2, AggregationMode::kStatic, ppu));
+    const std::size_t per_page = kBasePageBytes / sizeof(int);
+    auto a = rt.AllocUnitAligned<int>(2 * per_page, "pages");
+    rt.Run([&](Proc& p) {
+      if (p.id() == 0) {
+        for (std::size_t i = 0; i < 2 * per_page; ++i) p.Write(a, i, 7);
+      }
+      p.Barrier();
+      if (p.id() == 1) {
+        for (std::size_t i = 0; i < per_page; ++i) (void)p.Read(a, i);
+      }
+    });
+    RunStats s = rt.CollectStats();
+    piggy[ppu - 1] = s.comm.piggyback_useless_bytes;
+  }
+  EXPECT_EQ(piggy[0], 0u);
+  EXPECT_EQ(piggy[1], kBasePageBytes);
+}
+
+// Second §3 example: p1 writes page A, p2 writes page B, p3 reads only A.
+// At 4 K: one useful exchange.  At 8 K: an extra useless exchange with p2.
+TEST(StaticAggregation, AggregationInducesUselessMessages) {
+  for (int ppu = 1; ppu <= 2; ++ppu) {
+    Runtime rt(Config(3, AggregationMode::kStatic, ppu));
+    const std::size_t per_page = kBasePageBytes / sizeof(int);
+    auto a = rt.AllocUnitAligned<int>(2 * per_page, "pages");
+    rt.Run([&](Proc& p) {
+      if (p.id() == 0) {
+        for (std::size_t i = 0; i < per_page; ++i) p.Write(a, i, 1);
+      } else if (p.id() == 1) {
+        for (std::size_t i = per_page; i < 2 * per_page; ++i) p.Write(a, i, 2);
+      }
+      p.Barrier();
+      if (p.id() == 2) {
+        for (std::size_t i = 0; i < per_page; ++i) (void)p.Read(a, i);
+      }
+    });
+    RunStats s = rt.CollectStats();
+    if (ppu == 1) {
+      EXPECT_EQ(s.comm.useless_messages, 0u);
+      EXPECT_EQ(s.comm.signature.useful(1), 1u);
+    } else {
+      EXPECT_EQ(s.comm.useless_messages, 2u);  // exchange with p1 wasted
+      EXPECT_EQ(s.comm.signature.useful(2), 1u);
+      EXPECT_EQ(s.comm.signature.useless(2), 1u);
+    }
+  }
+}
+
+// --- dynamic aggregation end-to-end ------------------------------------------
+
+// A stable two-page access pattern: after one observation interval, the
+// dynamic scheme fetches both pages with one fault, combining the requests
+// (the pages are NOT contiguous).
+TEST(DynamicAggregation, RepeatedPatternFetchesGroupsTogether) {
+  Runtime rt(Config(2, AggregationMode::kDynamic, 1));
+  const std::size_t per_page = kBasePageBytes / sizeof(int);
+  auto a = rt.AllocUnitAligned<int>(8 * per_page, "pages");
+  const int iters = 6;
+  rt.Run([&](Proc& p) {
+    for (int it = 0; it < iters; ++it) {
+      if (p.id() == 0) {
+        // Write pages 0 and 4 (non-contiguous).
+        p.Write(a, 0, it + 1);
+        p.Write(a, 4 * per_page, it + 1);
+      }
+      p.Barrier();
+      if (p.id() == 1) {
+        (void)p.Read(a, 0);
+        (void)p.Read(a, 4 * per_page);
+      }
+      p.Barrier();
+    }
+  });
+  RunStats s = rt.CollectStats();
+  // Iteration 1: two separate faults (no groups yet).  Iterations 2..6:
+  // one grouped fault + one silent validation each.
+  EXPECT_GE(s.comm.silent_validations, (std::uint64_t)(iters - 2));
+  EXPECT_GE(s.comm.group_prefetch_units, (std::uint64_t)(iters - 2));
+  // Messages: first iteration 2 exchanges, then 1 per iteration.
+  const std::uint64_t exchanges =
+      (s.comm.useful_messages + s.comm.useless_messages) / 2;
+  EXPECT_LE(exchanges, (std::uint64_t)(2 + (iters - 1) + 1));
+}
+
+// MGS-like non-repeating pattern: dynamic must behave like the 4 K page.
+TEST(DynamicAggregation, NonRepeatingPatternDegradesToPages) {
+  RunStats stats[2];
+  int idx = 0;
+  for (AggregationMode mode :
+       {AggregationMode::kStatic, AggregationMode::kDynamic}) {
+    Runtime rt(Config(2, mode, 1));
+    const std::size_t per_page = kBasePageBytes / sizeof(int);
+    auto a = rt.AllocUnitAligned<int>(8 * per_page, "pages");
+    rt.Run([&](Proc& p) {
+      for (int it = 0; it < 8; ++it) {
+        if (p.id() == 0) p.Write(a, it * per_page, it + 1);
+        p.Barrier();
+        if (p.id() == 1) (void)p.Read(a, it * per_page);  // new page each time
+        p.Barrier();
+      }
+    });
+    stats[idx++] = rt.CollectStats();
+  }
+  EXPECT_EQ(stats[0].comm.useful_messages, stats[1].comm.useful_messages);
+  EXPECT_EQ(stats[0].comm.useless_messages, stats[1].comm.useless_messages);
+  EXPECT_EQ(stats[1].comm.group_prefetch_units, 0u);
+}
+
+// Request combining: a group whose pages were written by ONE writer must
+// fetch with a single exchange; written by TWO writers, two exchanges that
+// answer in parallel.
+TEST(DynamicAggregation, CombinesRequestsPerWriter) {
+  Runtime rt(Config(3, AggregationMode::kDynamic, 1));
+  const std::size_t per_page = kBasePageBytes / sizeof(int);
+  auto a = rt.AllocUnitAligned<int>(4 * per_page, "pages");
+  rt.Run([&](Proc& p) {
+    for (int it = 0; it < 4; ++it) {
+      if (p.id() == 0) p.Write(a, 0, it + 1);
+      if (p.id() == 1) p.Write(a, 2 * per_page, it + 1);
+      p.Barrier();
+      if (p.id() == 2) {
+        (void)p.Read(a, 0);
+        (void)p.Read(a, 2 * per_page);
+      }
+      p.Barrier();
+    }
+  });
+  RunStats s = rt.CollectStats();
+  // Steady state: one fault contacting 2 writers (signature bucket 2).
+  EXPECT_GT(s.comm.signature.useful(2), 0u);
+}
+
+}  // namespace
+}  // namespace dsm

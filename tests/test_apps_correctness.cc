@@ -1,0 +1,161 @@
+// Application correctness: each program must compute the same answer on
+// 1 processor (no protocol) and on 8 processors, at every consistency-unit
+// configuration (4 K / 8 K / 16 K / dynamic).  This is the end-to-end check
+// that the LRC + multiple-writer protocol preserves program semantics at
+// every aggregation setting.
+#include <gtest/gtest.h>
+
+#include "apps/registry.h"
+#include "apps/tsp.h"
+
+namespace dsm::apps {
+namespace {
+
+struct ConfigCase {
+  const char* label;
+  AggregationMode mode;
+  int pages_per_unit;
+};
+
+const ConfigCase kConfigs[] = {
+    {"4K", AggregationMode::kStatic, 1},
+    {"8K", AggregationMode::kStatic, 2},
+    {"16K", AggregationMode::kStatic, 4},
+    {"Dyn", AggregationMode::kDynamic, 1},
+};
+
+RuntimeConfig MakeConfig(const ConfigCase& c, int nprocs = 8) {
+  RuntimeConfig cfg;
+  cfg.num_procs = nprocs;
+  cfg.aggregation = c.mode;
+  cfg.pages_per_unit = c.pages_per_unit;
+  return cfg;
+}
+
+class AppConfigTest
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+// App names paired with the index into kConfigs.
+const char* const kDeterministicApps[] = {
+    "Jacobi", "MGS", "Shallow", "Barnes", "ILINK",
+};
+
+TEST_P(AppConfigTest, ParallelMatchesSequential) {
+  const auto& [app_name, config_idx] = GetParam();
+  const ConfigCase& cc = kConfigs[config_idx];
+
+  auto seq_app = MakeApp(app_name, "tiny");
+  const AppRun seq = ExecuteSequential(*seq_app, MakeConfig(cc));
+
+  auto par_app = MakeApp(app_name, "tiny");
+  const AppRun par = Execute(*par_app, MakeConfig(cc));
+
+  // These six programs partition writes disjointly and reduce in fixed
+  // order, so parallel results are bit-identical to sequential.
+  EXPECT_EQ(seq.result, par.result)
+      << app_name << " @ " << cc.label << ": seq=" << seq.result
+      << " par=" << par.result;
+  // The parallel run must actually have exercised the protocol.
+  EXPECT_GT(par.stats.net.total_messages(), 0u);
+  EXPECT_EQ(seq.stats.net.total_messages(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAppsAllConfigs, AppConfigTest,
+    ::testing::Combine(::testing::ValuesIn(kDeterministicApps),
+                       ::testing::Range(0, 4)),
+    [](const auto& info) {
+      std::string name = std::string(std::get<0>(info.param)) + "_" +
+                         kConfigs[std::get<1>(info.param)].label;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// 3D-FFT reduces its checksum through per-processor partials, so the
+// floating-point grouping differs between 1 and 8 processors; the values
+// agree to rounding error.
+class FftConfigTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftConfigTest, ParallelMatchesSequentialWithinRounding) {
+  const ConfigCase& cc = kConfigs[GetParam()];
+  auto seq_app = MakeApp("3D-FFT", "tiny");
+  const AppRun seq = ExecuteSequential(*seq_app, MakeConfig(cc));
+  auto par_app = MakeApp("3D-FFT", "tiny");
+  const AppRun par = Execute(*par_app, MakeConfig(cc));
+  ASSERT_NE(seq.result, 0.0);
+  EXPECT_NEAR(par.result / seq.result, 1.0, 1e-12) << "3D-FFT @ " << cc.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, FftConfigTest, ::testing::Range(0, 4),
+                         [](const auto& info) {
+                           return std::string(kConfigs[info.param].label);
+                         });
+
+// Water accumulates forces under locks; addition order varies with the
+// interleaving, so parallel matches sequential only up to fp tolerance.
+class WaterConfigTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WaterConfigTest, ParallelMatchesSequentialWithinTolerance) {
+  const ConfigCase& cc = kConfigs[GetParam()];
+  auto seq_app = MakeApp("Water", "tiny");
+  const AppRun seq = ExecuteSequential(*seq_app, MakeConfig(cc));
+  auto par_app = MakeApp("Water", "tiny");
+  const AppRun par = Execute(*par_app, MakeConfig(cc));
+  ASSERT_NE(seq.result, 0.0);
+  EXPECT_NEAR(par.result / seq.result, 1.0, 1e-3)
+      << "Water @ " << cc.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, WaterConfigTest, ::testing::Range(0, 4),
+                         [](const auto& info) {
+                           return std::string(kConfigs[info.param].label);
+                         });
+
+// TSP is a branch-and-bound search: the explored node set is
+// schedule-dependent but the optimum is not, and must match brute force.
+class TspConfigTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TspConfigTest, FindsOptimalTour) {
+  const ConfigCase& cc = kConfigs[GetParam()];
+  const TspParams params = TspDataset("tiny");
+  const double optimal = Tsp::BruteForce(params);
+
+  auto app = MakeApp("TSP", "tiny");
+  const AppRun par = Execute(*app, MakeConfig(cc));
+  EXPECT_NEAR(par.result, optimal, 1e-3) << "TSP @ " << cc.label;
+}
+
+TEST_P(TspConfigTest, SequentialFindsOptimalTour) {
+  const ConfigCase& cc = kConfigs[GetParam()];
+  const TspParams params = TspDataset("tiny");
+  const double optimal = Tsp::BruteForce(params);
+  auto app = MakeApp("TSP", "tiny");
+  const AppRun seq = ExecuteSequential(*app, MakeConfig(cc));
+  EXPECT_NEAR(seq.result, optimal, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, TspConfigTest, ::testing::Range(0, 4),
+                         [](const auto& info) {
+                           return std::string(kConfigs[info.param].label);
+                         });
+
+// Registry sanity.
+TEST(Registry, AllSpecsConstructible) {
+  for (const AppSpec& spec : AllSpecs()) {
+    auto app = MakeApp(spec.app, spec.dataset);
+    ASSERT_NE(app, nullptr);
+    EXPECT_EQ(app->name(), spec.app);
+    EXPECT_EQ(app->dataset(), spec.dataset);
+    EXPECT_GT(app->heap_bytes(), 0u);
+  }
+}
+
+TEST(Registry, UnknownAppThrows) {
+  EXPECT_THROW(MakeApp("NoSuchApp", "x"), CheckError);
+  EXPECT_THROW(MakeApp("Jacobi", "no-such-size"), CheckError);
+}
+
+}  // namespace
+}  // namespace dsm::apps

@@ -1,0 +1,204 @@
+// Twin/diff machinery: unit tests plus randomized property tests (the
+// diff is the integrity-critical core of the multiple-writer protocol).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "mem/diff.h"
+
+namespace dsm {
+namespace {
+
+std::vector<std::byte> Bytes(const std::vector<std::uint32_t>& words) {
+  std::vector<std::byte> out(words.size() * kWordBytes);
+  std::memcpy(out.data(), words.data(), out.size());
+  return out;
+}
+
+TEST(Diff, EmptyWhenIdentical) {
+  auto a = Bytes({1, 2, 3, 4});
+  Diff d = Diff::Create(a, a);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.payload_words(), 0u);
+  EXPECT_EQ(d.EncodedBytes(), Diff::kHeaderBytes);
+}
+
+TEST(Diff, SingleWordChange) {
+  auto twin = Bytes({1, 2, 3, 4});
+  auto cur = Bytes({1, 9, 3, 4});
+  Diff d = Diff::Create(twin, cur);
+  ASSERT_EQ(d.num_runs(), 1u);
+  EXPECT_EQ(d.runs()[0].word_offset, 1u);
+  EXPECT_EQ(d.runs()[0].word_count, 1u);
+  EXPECT_EQ(d.payload()[0], 9u);
+}
+
+TEST(Diff, AdjacentChangesCoalesceIntoOneRun) {
+  auto twin = Bytes({1, 2, 3, 4, 5});
+  auto cur = Bytes({1, 7, 8, 9, 5});
+  Diff d = Diff::Create(twin, cur);
+  ASSERT_EQ(d.num_runs(), 1u);
+  EXPECT_EQ(d.runs()[0].word_offset, 1u);
+  EXPECT_EQ(d.runs()[0].word_count, 3u);
+}
+
+TEST(Diff, DisjointChangesMakeSeparateRuns) {
+  auto twin = Bytes({1, 2, 3, 4, 5, 6});
+  auto cur = Bytes({9, 2, 3, 8, 5, 7});
+  Diff d = Diff::Create(twin, cur);
+  EXPECT_EQ(d.num_runs(), 3u);
+  EXPECT_EQ(d.payload_words(), 3u);
+}
+
+TEST(Diff, ApplyReconstructsModifications) {
+  auto twin = Bytes({10, 20, 30, 40});
+  auto cur = Bytes({11, 20, 33, 40});
+  Diff d = Diff::Create(twin, cur);
+  auto target = twin;  // an unmodified copy at another node
+  d.Apply(target);
+  EXPECT_EQ(target, cur);
+}
+
+TEST(Diff, ApplyPreservesConcurrentDisjointWrites) {
+  // Two writers modify disjoint words of one page; applying writer A's
+  // diff onto writer B's copy must keep B's modifications.
+  auto base = Bytes({0, 0, 0, 0});
+  auto a = Bytes({5, 0, 0, 0});
+  auto b = Bytes({0, 0, 0, 7});
+  Diff da = Diff::Create(base, a);
+  auto merged = b;
+  da.Apply(merged);
+  EXPECT_EQ(merged, Bytes({5, 0, 0, 7}));
+}
+
+TEST(Diff, ForEachWordEnumeratesAllModifiedWords) {
+  auto twin = Bytes({0, 0, 0, 0, 0, 0});
+  auto cur = Bytes({1, 1, 0, 0, 1, 0});
+  Diff d = Diff::Create(twin, cur);
+  std::vector<std::uint32_t> offsets;
+  d.ForEachWord([&](std::uint32_t w) { offsets.push_back(w); });
+  EXPECT_EQ(offsets, (std::vector<std::uint32_t>{0, 1, 4}));
+}
+
+TEST(Diff, EncodedBytesAccountsRunsAndPayload) {
+  auto twin = Bytes({0, 0, 0, 0});
+  auto cur = Bytes({1, 0, 2, 0});
+  Diff d = Diff::Create(twin, cur);
+  EXPECT_EQ(d.EncodedBytes(), Diff::kHeaderBytes +
+                                  2 * Diff::kRunDescriptorBytes +
+                                  2 * kWordBytes);
+}
+
+TEST(DiffMerge, NewerWinsOnOverlap) {
+  auto base = Bytes({0, 0, 0, 0});
+  auto v1 = Bytes({1, 1, 0, 0});
+  auto v2 = Bytes({2, 1, 9, 0});
+  Diff d1 = Diff::Create(base, v1);
+  Diff d2 = Diff::Create(v1, v2);
+  Diff merged = Diff::Merge(d1, d2, 4);
+  auto target = base;
+  merged.Apply(target);
+  EXPECT_EQ(target, v2);
+}
+
+TEST(DiffMerge, UnionOfDisjointRuns) {
+  auto base = Bytes({0, 0, 0, 0, 0});
+  auto v1 = Bytes({1, 0, 0, 0, 0});
+  auto v2 = Bytes({1, 0, 0, 0, 5});
+  Diff d1 = Diff::Create(base, v1);
+  Diff d2 = Diff::Create(v1, v2);
+  Diff merged = Diff::Merge(d1, d2, 5);
+  EXPECT_EQ(merged.payload_words(), 2u);
+  auto target = base;
+  merged.Apply(target);
+  EXPECT_EQ(target, v2);
+}
+
+// --- property tests --------------------------------------------------------
+
+class DiffPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Round trip: for random twin/current pairs, Create then Apply onto the
+// twin reproduces current exactly, and the diff never carries more words
+// than differ.
+TEST_P(DiffPropertyTest, CreateApplyRoundTrip) {
+  Xoshiro256 rng(GetParam());
+  const std::size_t words = 64 + rng.UniformInt(1024);
+  std::vector<std::uint32_t> twin_w(words), cur_w(words);
+  std::size_t expected_modified = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    twin_w[i] = static_cast<std::uint32_t>(rng.Next());
+    if (rng.UniformDouble() < 0.3) {
+      cur_w[i] = twin_w[i] + 1 + static_cast<std::uint32_t>(rng.UniformInt(100));
+      ++expected_modified;
+    } else {
+      cur_w[i] = twin_w[i];
+    }
+  }
+  auto twin = Bytes(twin_w);
+  auto cur = Bytes(cur_w);
+  Diff d = Diff::Create(twin, cur);
+  EXPECT_EQ(d.payload_words(), expected_modified);
+  auto target = twin;
+  d.Apply(target);
+  EXPECT_EQ(target, cur);
+}
+
+// Merge equivalence: applying (d1 then d2) equals applying Merge(d1, d2).
+TEST_P(DiffPropertyTest, MergeEquivalentToSequentialApply) {
+  Xoshiro256 rng(GetParam() ^ 0xfeed);
+  const std::size_t words = 32 + rng.UniformInt(512);
+  std::vector<std::uint32_t> v0(words), v1(words), v2(words);
+  for (std::size_t i = 0; i < words; ++i) {
+    v0[i] = static_cast<std::uint32_t>(rng.Next());
+    v1[i] = rng.UniformDouble() < 0.25 ? v0[i] + 1 : v0[i];
+    v2[i] = rng.UniformDouble() < 0.25 ? v1[i] + 1 : v1[i];
+  }
+  auto b0 = Bytes(v0), b1 = Bytes(v1), b2 = Bytes(v2);
+  Diff d1 = Diff::Create(b0, b1);
+  Diff d2 = Diff::Create(b1, b2);
+
+  auto sequential = b0;
+  d1.Apply(sequential);
+  d2.Apply(sequential);
+
+  auto merged_target = b0;
+  Diff merged = Diff::Merge(d1, d2, words);
+  merged.Apply(merged_target);
+
+  EXPECT_EQ(sequential, merged_target);
+  // The merged payload never exceeds the sum of the parts.
+  EXPECT_LE(merged.payload_words(), d1.payload_words() + d2.payload_words());
+}
+
+// Runs are canonical: sorted, non-overlapping, maximal.
+TEST_P(DiffPropertyTest, RunsAreCanonical) {
+  Xoshiro256 rng(GetParam() ^ 0xbeef);
+  const std::size_t words = 64 + rng.UniformInt(256);
+  std::vector<std::uint32_t> twin_w(words), cur_w(words);
+  for (std::size_t i = 0; i < words; ++i) {
+    twin_w[i] = 1;
+    cur_w[i] = rng.UniformDouble() < 0.5 ? 1u : 2u;
+  }
+  Diff d = Diff::Create(Bytes(twin_w), Bytes(cur_w));
+  std::uint32_t prev_end = 0;
+  bool first = true;
+  for (const DiffRun& run : d.runs()) {
+    EXPECT_GT(run.word_count, 0u);
+    if (!first) {
+      // Maximality: a gap of at least one unmodified word between runs.
+      EXPECT_GT(run.word_offset, prev_end);
+    }
+    prev_end = run.word_offset + run.word_count;
+    first = false;
+  }
+  EXPECT_LE(prev_end, words);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace dsm

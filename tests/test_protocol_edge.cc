@@ -1,0 +1,217 @@
+// Protocol edge cases: diff chains under lock ordering, coalescing
+// correctness, invalidation of dirty units, stats plumbing, and label /
+// config helpers.
+#include <gtest/gtest.h>
+
+#include "core/runtime.h"
+
+namespace dsm {
+namespace {
+
+RuntimeConfig Config(int nprocs, int ppu = 1) {
+  RuntimeConfig cfg;
+  cfg.num_procs = nprocs;
+  cfg.heap_bytes = 1u << 20;
+  cfg.pages_per_unit = ppu;
+  return cfg;
+}
+
+// Ordered, overlapping diffs through a lock chain: the LAST write in
+// happens-before order must win at a third-party reader, even when the
+// chain interleaves writers (coalescing must not reorder).
+TEST(ProtocolEdge, InterleavedLockChainAppliesInOrder) {
+  Runtime rt(Config(3));
+  auto a = rt.Alloc<int>(16, "a");
+  int seen = -1;
+  rt.Run([&](Proc& p) {
+    // p0 writes 1, p1 overwrites with 2, p0 overwrites with 3 — all under
+    // the same lock, serialized by barriers to fix the order.
+    if (p.id() == 0) {
+      p.Lock(0);
+      p.Write(a, 0, 1);
+      p.Unlock(0);
+    }
+    p.Barrier();
+    if (p.id() == 1) {
+      p.Lock(0);
+      p.Write(a, 0, 2);
+      p.Unlock(0);
+    }
+    p.Barrier();
+    if (p.id() == 0) {
+      p.Lock(0);
+      p.Write(a, 0, 3);
+      p.Unlock(0);
+    }
+    p.Barrier();
+    // p2 has seen none of the three intervals; its fetch must deliver the
+    // p0(1), p1(2), p0(3) chain in happens-before order.
+    if (p.id() == 2) seen = p.Read(a, 0);
+  });
+  EXPECT_EQ(seen, 3);
+}
+
+// Same-writer chain with a foreign interval strictly between: the merge
+// guard must keep them separate and the final value correct.
+TEST(ProtocolEdge, ForeignIntervalBetweenSameWriterChain) {
+  Runtime rt(Config(3));
+  auto a = rt.AllocUnitAligned<int>(1024, "page");
+  int v0 = -1, v1 = -1;
+  rt.Run([&](Proc& p) {
+    if (p.id() == 0) p.Write(a, 0, 10);  // p0 interval 1: word 0
+    p.Barrier();
+    if (p.id() == 1) p.Write(a, 0, 20);  // p1 overwrites word 0 (ordered)
+    p.Barrier();
+    if (p.id() == 0) p.Write(a, 1, 30);  // p0 interval 2: word 1
+    p.Barrier();
+    if (p.id() == 2) {
+      v0 = p.Read(a, 0);
+      v1 = p.Read(a, 1);
+    }
+  });
+  EXPECT_EQ(v0, 20);  // p1's ordered overwrite wins over p0's first write
+  EXPECT_EQ(v1, 30);
+}
+
+// A unit invalidated while locally dirty keeps local modifications after
+// the fetch merges foreign diffs (diffs applied to copy AND twin).
+TEST(ProtocolEdge, DirtyUnitSurvivesInvalidationAndMerge) {
+  Runtime rt(Config(2));
+  auto a = rt.AllocUnitAligned<int>(1024, "page");
+  int mine = -1, theirs = -1, final0 = -1, final512 = -1;
+  rt.Run([&](Proc& p) {
+    if (p.id() == 0) {
+      p.Lock(0);  // acquire before writing, release publishes
+      p.Write(a, 0, 100);
+      p.Unlock(0);
+    } else {
+      p.Lock(1);
+      p.Write(a, 512, 200);
+      p.Unlock(1);
+    }
+    p.Barrier();
+    // Both keep writing their own halves (dirty), then re-sync.
+    if (p.id() == 0) {
+      mine = p.Read(a, 0);      // own word survived
+      theirs = p.Read(a, 512);  // foreign word merged in
+      p.Write(a, 1, 101);
+    }
+    p.Barrier();
+    if (p.id() == 1) {
+      final0 = p.Read(a, 0);
+      final512 = p.Read(a, 512);
+    }
+  });
+  EXPECT_EQ(mine, 100);
+  EXPECT_EQ(theirs, 200);
+  EXPECT_EQ(final0, 100);
+  EXPECT_EQ(final512, 200);
+}
+
+// Usage tracking off: results identical, classification becomes
+// all-useless (no credits), raw counts unchanged.
+TEST(ProtocolEdge, TrackingDisabledKeepsSemantics) {
+  RuntimeConfig cfg = Config(2);
+  cfg.track_usage = false;
+  Runtime rt(cfg);
+  auto a = rt.Alloc<int>(256, "a");
+  int seen = -1;
+  rt.Run([&](Proc& p) {
+    if (p.id() == 0) p.Write(a, 7, 77);
+    p.Barrier();
+    if (p.id() == 1) seen = p.Read(a, 7);
+  });
+  EXPECT_EQ(seen, 77);
+  RunStats s = rt.CollectStats();
+  EXPECT_EQ(s.comm.useful_messages, 0u);  // nothing credited
+  EXPECT_EQ(s.comm.useless_messages, 2u);
+}
+
+// Multi-unit element access: a struct spanning two consistency units is
+// read and written coherently.
+TEST(ProtocolEdge, AccessSpanningUnits) {
+  struct Big {
+    int words[2048];  // 8 KB, spans two 4 KB units
+  };
+  Runtime rt(Config(2));
+  auto a = rt.Alloc<Big>(2, "big");
+  int lo = 0, hi = 0;
+  rt.Run([&](Proc& p) {
+    if (p.id() == 0) {
+      Big b{};
+      b.words[0] = 1;
+      b.words[2047] = 2;
+      p.Write(a, 1, b);  // element 1 starts mid-unit: definitely straddles
+    }
+    p.Barrier();
+    if (p.id() == 1) {
+      const Big b = p.Read(a, 1);
+      lo = b.words[0];
+      hi = b.words[2047];
+    }
+  });
+  EXPECT_EQ(lo, 1);
+  EXPECT_EQ(hi, 2);
+}
+
+TEST(ProtocolEdge, UnitLabels) {
+  RuntimeConfig cfg;
+  cfg.pages_per_unit = 1;
+  EXPECT_STREQ(cfg.UnitLabel(), "4K");
+  cfg.pages_per_unit = 2;
+  EXPECT_STREQ(cfg.UnitLabel(), "8K");
+  cfg.pages_per_unit = 4;
+  EXPECT_STREQ(cfg.UnitLabel(), "16K");
+  cfg.aggregation = AggregationMode::kDynamic;
+  EXPECT_STREQ(cfg.UnitLabel(), "Dyn");
+  EXPECT_EQ(cfg.unit_bytes(), kBasePageBytes);  // dynamic uses 4 K pages
+}
+
+TEST(ProtocolEdge, StatsToStringsAreNonEmpty) {
+  Runtime rt(Config(2));
+  auto a = rt.Alloc<int>(64, "a");
+  rt.Run([&](Proc& p) {
+    if (p.id() == 0) p.Write(a, 0, 1);
+    p.Barrier();
+    if (p.id() == 1) (void)p.Read(a, 0);
+  });
+  RunStats s = rt.CollectStats();
+  EXPECT_FALSE(s.ToString().empty());
+  EXPECT_FALSE(s.comm.ToString().empty());
+  EXPECT_FALSE(s.net.ToString().empty());
+}
+
+// Deterministic replay: two identical barrier-program runs produce
+// identical statistics and virtual times.
+TEST(ProtocolEdge, DeterministicReplay) {
+  auto run_once = [] {
+    Runtime rt(Config(4, 2));
+    auto a = rt.AllocUnitAligned<int>(8192, "a");
+    rt.Run([&](Proc& p) {
+      for (int it = 0; it < 3; ++it) {
+        for (int i = p.id(); i < 8192; i += p.nprocs()) {
+          p.Write(a, static_cast<std::size_t>(i), it + i);
+        }
+        p.Barrier();
+        long sum = 0;
+        for (int i = 0; i < 512; ++i) {
+          sum += p.Read(a, static_cast<std::size_t>(i));
+        }
+        p.Compute(static_cast<std::uint64_t>(sum % 7));
+        p.Barrier();
+      }
+    });
+    return rt.CollectStats();
+  };
+  RunStats a = run_once();
+  RunStats b = run_once();
+  EXPECT_EQ(a.exec_time, b.exec_time);
+  EXPECT_EQ(a.node_times, b.node_times);
+  EXPECT_EQ(a.comm.useful_messages, b.comm.useful_messages);
+  EXPECT_EQ(a.comm.useless_messages, b.comm.useless_messages);
+  EXPECT_EQ(a.comm.useful_data_bytes, b.comm.useful_data_bytes);
+  EXPECT_EQ(a.net.total_bytes(), b.net.total_bytes());
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,378 @@
+// Unit tests for the support substrates: RNG, histogram, virtual clock,
+// cost model calibration, network model calibration, heap, page table,
+// word tracker, vector clocks, interval archive, net stats.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/check.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "core/vector_clock.h"
+#include "core/write_notice.h"
+#include "mem/global_heap.h"
+#include "mem/page_table.h"
+#include "mem/word_tracker.h"
+#include "net/net_stats.h"
+#include "net/network_model.h"
+#include "sim/cost_model.h"
+#include "sim/virtual_clock.h"
+
+namespace dsm {
+namespace {
+
+// --- common ---------------------------------------------------------------
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    DSM_CHECK(1 == 2) << "context " << 42;
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformIntInBounds) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+  }
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.UniformDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeCoversEndpoints) {
+  Xoshiro256 rng(11);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.UniformRange(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    lo |= (v == 2);
+    hi |= (v == 5);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Histogram, SplitCountsAndNormalization) {
+  SplitHistogram h;
+  h.AddUseful(1, 10);
+  h.AddUseless(1, 5);
+  h.AddUseful(7, 30);
+  EXPECT_EQ(h.useful(1), 10u);
+  EXPECT_EQ(h.useless(1), 5u);
+  EXPECT_EQ(h.total(7), 30u);
+  EXPECT_EQ(h.grand_total(), 45u);
+  const auto norm = h.NormalizedTotals();
+  EXPECT_DOUBLE_EQ(norm[7], 1.0);
+  EXPECT_DOUBLE_EQ(norm[1], 0.5);
+}
+
+TEST(Histogram, MergeGrowsBuckets) {
+  SplitHistogram a, b;
+  a.AddUseful(1);
+  b.AddUseless(5);
+  a.Merge(b);
+  EXPECT_EQ(a.useful(1), 1u);
+  EXPECT_EQ(a.useless(5), 1u);
+}
+
+// --- sim --------------------------------------------------------------------
+
+TEST(VirtualClock, AdvancesMonotonically) {
+  VirtualClock c;
+  c.Advance(100);
+  c.AdvanceTo(50);  // no-op: never backwards
+  EXPECT_EQ(c.now(), 100);
+  c.AdvanceTo(200);
+  EXPECT_EQ(c.now(), 200);
+  EXPECT_THROW(c.Advance(-1), CheckError);
+}
+
+TEST(CostModel, DiffCostsScaleWithSize) {
+  CostModel cost;
+  EXPECT_GT(cost.DiffCreateCost(16384), cost.DiffCreateCost(4096));
+  EXPECT_GT(cost.TwinCost(8192), cost.TwinCost(4096));
+  EXPECT_EQ(cost.DiffApplyCost(0), cost.diff_apply_fixed);
+}
+
+// --- net: calibration to the paper's §5.1 platform numbers ------------------
+
+TEST(NetworkModel, OneByteRoundTripIs296us) {
+  NetworkConfig config;
+  config.wire_header_bytes = 0;  // calibration excludes header framing
+  NetworkModel net(config);
+  EXPECT_EQ(net.RoundTripTime(1, 0), 296 * kNanosPerMicro - 2 * 80 + 80);
+  // 2 × (147.92 µs + 1 B · 80 ns) ≈ 296 µs within one byte-time.
+  EXPECT_NEAR(static_cast<double>(net.RoundTripTime(1, 1)),
+              296.0 * kNanosPerMicro, 200.0);
+}
+
+TEST(NetworkModel, BandwidthIs100Mbps) {
+  NetworkModel net;
+  // Marginal cost of 12500 extra bytes = 1 ms at 12.5 MB/s.
+  const VirtualNanos base = net.OneWayTime(0);
+  const VirtualNanos loaded = net.OneWayTime(12500);
+  EXPECT_EQ(loaded - base, 1 * kNanosPerMilli);
+}
+
+TEST(NetworkModel, DiffFetchInPaperBand) {
+  // The paper: "time to obtain a diff varies from 579 to 1,746 µs".
+  NetworkModel net;
+  CostModel cost;
+  const VirtualNanos full_page_diff =
+      net.RoundTripTime(24, 4096 + 64) + cost.request_service_overhead +
+      cost.DiffCreateCost(4096) + cost.DiffApplyCost(4096);
+  EXPECT_GE(full_page_diff, 579 * kNanosPerMicro);
+  EXPECT_LE(full_page_diff, 1746 * kNanosPerMicro);
+}
+
+TEST(NetStats, CountsPerKindAndTotals) {
+  NetStats stats;
+  stats.Record(MessageKind::kDiffRequest, 24);
+  stats.Record(MessageKind::kDiffResponse, 4096);
+  stats.Record(MessageKind::kBarrierArrival, 16);
+  EXPECT_EQ(stats.total_messages(), 3u);
+  EXPECT_EQ(stats.data_messages(), 2u);
+  EXPECT_EQ(stats.sync_messages(), 1u);
+  EXPECT_EQ(stats.data_bytes(), 4120u);
+}
+
+// --- mem ---------------------------------------------------------------------
+
+TEST(GlobalHeap, BumpAllocationAndAlignment) {
+  GlobalHeap heap(1 << 20, 4096);
+  const GlobalAddr a = heap.Alloc(100, 4, "a");
+  const GlobalAddr b = heap.Alloc(100, 64, "b");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GE(b, a + 100);
+  const GlobalAddr c = heap.AllocUnitAligned(10, "c");
+  EXPECT_EQ(c % 4096, 0u);
+}
+
+TEST(GlobalHeap, ExhaustionThrows) {
+  GlobalHeap heap(8192, 4096);
+  heap.Alloc(8000, 4);
+  EXPECT_THROW(heap.Alloc(400, 4), CheckError);
+}
+
+TEST(GlobalHeap, RejectsBadUnitSizes) {
+  EXPECT_THROW(GlobalHeap(1 << 20, 3000), CheckError);   // not a power of 2
+  EXPECT_THROW(GlobalHeap(1 << 20, 2048), CheckError);   // below page size
+  EXPECT_THROW(GlobalHeap(10000, 4096), CheckError);     // not a multiple
+}
+
+TEST(GlobalHeap, UnitMapping) {
+  GlobalHeap heap(1 << 20, 8192);
+  EXPECT_EQ(heap.UnitOf(0), 0u);
+  EXPECT_EQ(heap.UnitOf(8191), 0u);
+  EXPECT_EQ(heap.UnitOf(8192), 1u);
+  EXPECT_EQ(heap.UnitBase(2), 16384u);
+  EXPECT_EQ(heap.num_units(), (1u << 20) / 8192);
+}
+
+TEST(PageTable, StateTransitionsAndTwins) {
+  PageTable table(4, 4096);
+  EXPECT_EQ(table.state(0), UnitState::kReadValid);
+  EXPECT_FALSE(table.NeedsFaultOnRead(0));
+  EXPECT_TRUE(table.NeedsFaultOnWrite(0));
+
+  std::vector<std::byte> content(4096, std::byte{0x5A});
+  table.MakeTwin(1, content);
+  EXPECT_TRUE(table.HasTwin(1));
+  EXPECT_EQ(table.twin(1)[0], std::byte{0x5A});
+  EXPECT_THROW(table.MakeTwin(1, content), CheckError);  // double twin
+  table.DropTwin(1);
+  EXPECT_FALSE(table.HasTwin(1));
+
+  table.set_state(2, UnitState::kInvalid);
+  EXPECT_TRUE(table.NeedsFaultOnRead(2));
+  table.set_state(3, UnitState::kUpdatedInvalid);
+  EXPECT_TRUE(table.NeedsFaultOnRead(3));
+  EXPECT_TRUE(table.NeedsFaultOnWrite(3));
+}
+
+TEST(WordTracker, CreditOnFirstReadOnly) {
+  WordTracker tracker(2, 1024);
+  tracker.Deliver(0, 5, /*msg_id=*/3);
+  int credited = -1;
+  tracker.OnRead(0, 5, 1, [&](std::uint32_t m) { credited = (int)m; });
+  EXPECT_EQ(credited, 3);
+  credited = -1;
+  tracker.OnRead(0, 5, 1, [&](std::uint32_t m) { credited = (int)m; });
+  EXPECT_EQ(credited, -1);  // only the first read credits
+}
+
+TEST(WordTracker, OverwriteKillsCredit) {
+  WordTracker tracker(2, 1024);
+  tracker.Deliver(0, 7, 1);
+  tracker.OnWrite(0, 7, 1);
+  int credited = -1;
+  tracker.OnRead(0, 7, 1, [&](std::uint32_t m) { credited = (int)m; });
+  EXPECT_EQ(credited, -1);
+}
+
+TEST(WordTracker, RedeliveryRetags) {
+  WordTracker tracker(2, 1024);
+  tracker.Deliver(0, 9, 1);
+  tracker.Deliver(0, 9, 2);  // newer message overwrites the tag
+  std::vector<std::uint32_t> credits;
+  tracker.OnRead(0, 9, 1, [&](std::uint32_t m) { credits.push_back(m); });
+  EXPECT_EQ(credits, (std::vector<std::uint32_t>{2}));
+}
+
+TEST(WordTracker, UntouchedUnitsCostNothing) {
+  WordTracker tracker(8, 1024);
+  EXPECT_FALSE(tracker.HasTracking(5));
+  int calls = 0;
+  tracker.OnRead(5, 0, 64, [&](std::uint32_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(WordTracker, RangeReadCreditsEachFreshWord) {
+  WordTracker tracker(1, 64);
+  tracker.Deliver(0, 2, 0);
+  tracker.Deliver(0, 3, 0);
+  tracker.Deliver(0, 5, 1);
+  int credits = 0;
+  tracker.OnRead(0, 0, 8, [&](std::uint32_t) { ++credits; });
+  EXPECT_EQ(credits, 3);
+}
+
+// --- core primitives ----------------------------------------------------------
+
+TEST(VectorClockTest, MergeTakesElementwiseMax) {
+  VectorClock a(3), b(3);
+  a[0] = 5;
+  b[1] = 7;
+  a.Merge(b);
+  EXPECT_EQ(a[0], 5u);
+  EXPECT_EQ(a[1], 7u);
+  EXPECT_EQ(a[2], 0u);
+}
+
+TEST(VectorClockTest, DominatedByAndCovers) {
+  VectorClock a(2), b(2);
+  a[0] = 1;
+  b[0] = 2;
+  b[1] = 1;
+  EXPECT_TRUE(a.DominatedBy(b));
+  EXPECT_FALSE(b.DominatedBy(a));
+  EXPECT_TRUE(b.Covers(0, 2));
+  EXPECT_FALSE(b.Covers(0, 3));
+}
+
+TEST(IntervalArchiveTest, AppendFindRange) {
+  IntervalArchive archive;
+  for (Seq s : {1u, 3u, 4u, 7u}) {
+    IntervalRecord rec;
+    rec.proc = 0;
+    rec.seq = s;
+    rec.vc = VectorClock(2);
+    rec.vc[0] = s;
+    archive.Append(std::move(rec));
+  }
+  EXPECT_EQ(archive.size(), 4u);
+  EXPECT_NE(archive.Find(3), nullptr);
+  EXPECT_EQ(archive.Find(2), nullptr);  // seq gaps are legal
+  const auto range = archive.Range(1, 4);
+  ASSERT_EQ(range.size(), 2u);
+  EXPECT_EQ(range[0]->seq, 3u);
+  EXPECT_EQ(range[1]->seq, 4u);
+}
+
+TEST(IntervalArchiveTest, RejectsOutOfOrderAppend) {
+  IntervalArchive archive;
+  IntervalRecord rec;
+  rec.proc = 0;
+  rec.seq = 5;
+  archive.Append(std::move(rec));
+  IntervalRecord older;
+  older.proc = 0;
+  older.seq = 4;
+  EXPECT_THROW(archive.Append(std::move(older)), CheckError);
+}
+
+TEST(IntervalArchiveTest, HappenedBeforeViaVectorClocks) {
+  IntervalRecord a;
+  a.proc = 0;
+  a.seq = 1;
+  a.vc = VectorClock(2);
+  a.vc[0] = 1;
+
+  IntervalRecord b_after;
+  b_after.proc = 1;
+  b_after.seq = 1;
+  b_after.vc = VectorClock(2);
+  b_after.vc[0] = 1;  // saw a
+  b_after.vc[1] = 1;
+
+  IntervalRecord b_concurrent;
+  b_concurrent.proc = 1;
+  b_concurrent.seq = 1;
+  b_concurrent.vc = VectorClock(2);
+  b_concurrent.vc[1] = 1;
+
+  EXPECT_TRUE(a.HappenedBefore(b_after));
+  EXPECT_FALSE(a.HappenedBefore(b_concurrent));
+  EXPECT_FALSE(b_concurrent.HappenedBefore(a));
+}
+
+TEST(IntervalArchiveTest, MarkDiffedFirstCallOnly) {
+  IntervalArchive archive;
+  IntervalRecord rec;
+  rec.proc = 0;
+  rec.seq = 1;
+  rec.units = {4};
+  rec.diffs.resize(1);
+  const IntervalRecord* stored = archive.Append(std::move(rec));
+  EXPECT_TRUE(stored->MarkDiffed(0));
+  EXPECT_FALSE(stored->MarkDiffed(0));
+}
+
+TEST(IntervalArchiveTest, ConcurrentAppendAndLookup) {
+  IntervalArchive archive;
+  std::thread writer([&] {
+    for (Seq s = 1; s <= 1000; ++s) {
+      IntervalRecord rec;
+      rec.proc = 0;
+      rec.seq = s;
+      archive.Append(std::move(rec));
+    }
+  });
+  // Concurrent lookups must be safe and monotone while the writer appends.
+  std::size_t prev = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t now = archive.Range(0, 1000).size();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+  writer.join();
+  EXPECT_EQ(archive.size(), 1000u);
+  EXPECT_EQ(archive.Range(0, 1000).size(), 1000u);
+}
+
+}  // namespace
+}  // namespace dsm
