@@ -55,4 +55,23 @@ std::vector<AppSpec> AllSpecs() {
   return specs;
 }
 
+std::vector<ConformanceScenario> ConformanceScenarios() {
+  // Golden checksums recorded from the reference backend at 4 processors
+  // (see tests/test_conformance.cc, which re-derives and cross-checks
+  // them on every run).  rel_tol 0 marks apps whose result is
+  // bit-deterministic at fixed num_procs; Water accumulates forces under
+  // locks and TSP races its branch-and-bound pruning, so their results
+  // carry a scheduling tolerance.
+  return {
+      {"Jacobi", "tiny", 4, 189321.05570180155, 0.0},
+      {"MGS", "tiny", 4, 1.4165231243520721e-06, 0.0},
+      {"3D-FFT", "tiny", 4, 13.190211990917534, 0.0},
+      {"Shallow", "tiny", 4, 164279.61499786377, 0.0},
+      {"Barnes", "tiny", 4, 263.25515289674513, 0.0},
+      {"ILINK", "tiny", 4, 6720.7531095147133, 0.0},
+      {"Water", "tiny", 4, 1084.9943868517876, 1e-3},
+      {"TSP", "tiny", 4, 262.54638671875, 1e-6},
+  };
+}
+
 }  // namespace dsm::apps

@@ -24,4 +24,25 @@ std::vector<AppSpec> Figure1Specs();  // Barnes, ILINK, TSP, Water
 std::vector<AppSpec> Figure2Specs();  // Jacobi, 3D-FFT, MGS, Shallow × sizes
 std::vector<AppSpec> AllSpecs();      // the union, Table 1 order
 
+// --- cross-backend conformance sweep ---------------------------------------
+// One row per application: a seeded, test-sized input plus the golden
+// checksum its result() must reproduce at `num_procs` processors under
+// every (backend × aggregation) cell of the conformance sweep
+// (tests/test_conformance.cc).
+struct ConformanceScenario {
+  std::string app;
+  std::string dataset;  // deterministic (seeded) test-sized input
+  int num_procs;
+  // Golden result for (app, dataset, num_procs), recorded from the
+  // sequentially consistent reference backend.
+  double checksum;
+  // Cross-cell comparison tolerance (relative).  0 → the app is
+  // bit-deterministic at fixed num_procs, so every cell must produce the
+  // identical bits.  >0 → scheduling-dependent floating-point accumulation
+  // (e.g. force sums under locks); cells agree only within this error.
+  double rel_tol;
+};
+
+std::vector<ConformanceScenario> ConformanceScenarios();
+
 }  // namespace dsm::apps

@@ -13,6 +13,7 @@ void CommBreakdown::Merge(const CommBreakdown& other) {
   useful_data_bytes += other.useful_data_bytes;
   piggyback_useless_bytes += other.piggyback_useless_bytes;
   useless_msg_data_bytes += other.useless_msg_data_bytes;
+  delivered_data_bytes += other.delivered_data_bytes;
   signature.Merge(other.signature);
   read_faults += other.read_faults;
   write_faults += other.write_faults;

@@ -37,6 +37,14 @@ struct CommBreakdown {
   std::uint64_t useful_data_bytes = 0;
   std::uint64_t piggyback_useless_bytes = 0;  // useless words on useful msgs
   std::uint64_t useless_msg_data_bytes = 0;   // words on useless msgs
+  // Independent tally of diff payload: incremented by the protocol once
+  // per APPLIED diff (Node::FetchUnits' apply loop), a different code path
+  // from the per-exchange word bookkeeping that Finalize() classifies.
+  // Invariant: total_data_bytes() == delivered_data_bytes — every applied
+  // word must be accounted for by the useful/useless split, so a missed
+  // AddDelivered, a double-count across merged chains, or an over-credit
+  // breaks the equality.
+  std::uint64_t delivered_data_bytes = 0;
 
   // False sharing signature (Figure 3): bucket k = faults that contacted k
   // concurrent writers; per bucket, exchanges split useful/useless.

@@ -16,9 +16,22 @@ enum class AggregationMode {
   kDynamic,  // unit = 4 KB page + runtime page grouping (paper §4)
 };
 
+enum class BackendKind {
+  // Full lazy release consistency + multiple-writer protocol (the paper).
+  kLrc,
+  // Conformance oracle: every processor reads and writes one shared image
+  // directly (plain sequential consistency — no twins, no diffs, no write
+  // notices).  Barriers and locks still rendezvous, so any program that is
+  // data-race-free under LRC computes the same answer here; divergence
+  // between the two backends indicates a protocol bug.
+  kReference,
+};
+
 struct RuntimeConfig {
   int num_procs = 8;
   std::size_t heap_bytes = 8u << 20;
+
+  BackendKind backend = BackendKind::kLrc;
 
   AggregationMode aggregation = AggregationMode::kStatic;
   // Static aggregation factor: 1 → 4 KB units, 2 → 8 KB, 4 → 16 KB.
@@ -45,6 +58,9 @@ struct RuntimeConfig {
 
   // Human-readable label for tables: "4K", "8K", "16K", or "Dyn".
   const char* UnitLabel() const;
+
+  // "LRC" or "Ref".
+  const char* BackendLabel() const;
 };
 
 }  // namespace dsm

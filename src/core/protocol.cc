@@ -20,6 +20,10 @@ const char* RuntimeConfig::UnitLabel() const {
   }
 }
 
+const char* RuntimeConfig::BackendLabel() const {
+  return backend == BackendKind::kReference ? "Ref" : "LRC";
+}
+
 SharedState::SharedState(const RuntimeConfig& cfg)
     : config(cfg),
       heap(cfg.heap_bytes, cfg.unit_bytes()),
@@ -27,6 +31,9 @@ SharedState::SharedState(const RuntimeConfig& cfg)
       barrier(std::make_unique<BarrierService>(cfg.num_procs)),
       locks(std::make_unique<LockService>(cfg.num_locks, cfg.num_procs)) {
   DSM_CHECK_GE(cfg.num_procs, 1);
+  if (cfg.backend == BackendKind::kReference) {
+    reference_image.reset(new std::byte[heap.heap_bytes()]());
+  }
   archives.reserve(cfg.num_procs);
   for (int p = 0; p < cfg.num_procs; ++p) {
     archives.push_back(std::make_unique<IntervalArchive>());
@@ -38,12 +45,17 @@ Node::Node(ProcId id, SharedState& shared)
       shared_(shared),
       unit_bytes_(shared.heap.unit_bytes()),
       unit_shift_(shared.heap.unit_shift()),
-      image_(new std::byte[shared.heap.heap_bytes()]()),
+      image_(shared.reference_image
+                 ? nullptr
+                 : new std::byte[shared.heap.heap_bytes()]()),
+      data_(shared.reference_image ? shared.reference_image.get()
+                                   : image_.get()),
       table_(shared.heap.num_units(), unit_bytes_),
       tracker_(shared.heap.num_units(), unit_bytes_ / kWordBytes),
       pending_(shared.heap.num_units()),
       retwin_cheap_(shared.heap.num_units(), 0),
       diff_requested_(shared.heap.num_units()),
+      diff_request_seen_(shared.heap.num_units(), 0),
       aggregator_(shared.heap.num_units(), shared.config.max_group_pages),
       vc_(shared.config.num_procs),
       notices_seen_(shared.config.num_procs),
@@ -61,11 +73,13 @@ void Node::WriteFault(UnitId unit) {
   const UnitState s = table_.state(unit);
   // Lazy-diffing model: after a release the twin persists and the page
   // stays writable at the writer, so re-dirtying it is free unless some
-  // peer requested a diff in between (forcing diff creation, twin discard,
-  // and re-protection at the writer).
-  const bool cheap =
-      s == UnitState::kReadValid && retwin_cheap_[unit] != 0 &&
-      diff_requested_[unit].load(std::memory_order_relaxed) == 0;
+  // peer requested a diff in an earlier barrier phase (forcing diff
+  // creation, twin discard, and re-protection at the writer).  Only the
+  // barrier-drained view is consulted — never the live request flags —
+  // so the decision does not depend on host thread timing.
+  const bool cheap = s == UnitState::kReadValid &&
+                     retwin_cheap_[unit] != 0 &&
+                     diff_request_seen_[unit] == 0;
   if (!cheap) {
     comm_stats_.counters().write_faults += 1;
     clock_.Advance(cost.fault_overhead);
@@ -83,7 +97,11 @@ void Node::TwinUnit(UnitId unit, bool cheap) {
   table_.set_state(unit, UnitState::kDirty);
   comm_stats_.counters().twins_created += 1;
   retwin_cheap_[unit] = 0;
-  diff_requested_[unit].store(0, std::memory_order_relaxed);
+  // A fresh twin settles all drained requests; live (same-phase) request
+  // flags are left for the next barrier drain, so a request concurrent
+  // with this interval makes the NEXT re-twin expensive regardless of
+  // which host thread won the race.
+  diff_request_seen_[unit] = 0;
   if (!cheap) clock_.Advance(cost.TwinCost(unit_bytes_) + cost.mprotect_op);
 }
 
@@ -152,7 +170,7 @@ void Node::FetchUnits(const std::vector<UnitId>& units) {
     struct Resolved {
       const IntervalRecord* rec;
       const Diff* diff;
-      bool first_materialization;
+      bool pays_for_scan;
     };
     std::vector<Resolved> all;
     all.reserve(pending_[unit].size());
@@ -165,7 +183,7 @@ void Node::FetchUnits(const std::vector<UnitId>& units) {
       DSM_CHECK_GE(di, 0) << "interval (" << pi.proc << "," << pi.seq
                           << ") has no diff for unit " << unit;
       all.push_back({rec, &rec->diffs[static_cast<std::size_t>(di)],
-                     rec->MarkDiffed(di)});
+                     rec->PaysForDiff(di, sync_phase_)});
     }
     for (ProcId w = 0; w < nprocs; ++w) {
       // This writer's intervals, in increasing seq order (pending notices
@@ -176,12 +194,12 @@ void Node::FetchUnits(const std::vector<UnitId>& units) {
       }
       if (chain_input.empty()) continue;
 
-      // One server-side twin scan per (writer, unit) with any interval not
-      // yet materialized; everything already materialized is served from
-      // the writer's diff cache.
+      // One server-side twin scan per (writer, unit) with any interval
+      // this requester pays to materialize; everything materialized in an
+      // earlier phase is served from the writer's diff cache.
       bool needs_scan = false;
       for (const Resolved* r : chain_input) {
-        if (r->first_materialization) needs_scan = true;
+        if (r->pays_for_scan) needs_scan = true;
       }
       const IntervalRecord* chain_first = nullptr;
       const Diff* chain_diff = nullptr;
@@ -310,6 +328,8 @@ void Node::FetchUnits(const std::vector<UnitId>& units) {
         });
       }
       comm_stats_.counters().diffs_applied += 1;
+      comm_stats_.counters().delivered_data_bytes +=
+          need.diff->payload_bytes();
       clock_.Advance(cost.DiffApplyCost(need.diff->payload_bytes()));
     }
     pending_[unit].clear();
@@ -393,7 +413,16 @@ std::size_t Node::OutgoingNoticeBytes() {
 }
 
 void Node::Barrier() {
-  if (!protocol_enabled()) return;
+  if (num_procs() == 1) return;
+  if (!protocol_enabled()) {
+    // Reference backend: pure rendezvous.  Clocks still reconcile to the
+    // slowest arrival (that is how a barrier behaves on any machine), but
+    // no notices move and no communication is modelled.
+    BarrierService::Result res =
+        shared_.barrier->Arrive(id_, vc_, clock_.now(), 0);
+    clock_.AdvanceTo(res.base_time);
+    return;
+  }
   const CostModel& cost = shared_.config.cost;
 
   CloseInterval();
@@ -401,6 +430,22 @@ void Node::Barrier() {
 
   BarrierService::Result res =
       shared_.barrier->Arrive(id_, vc_, clock_.now(), arrival_bytes);
+
+  // Extended barrier window: every processor is now inside the barrier,
+  // so no diff request is in flight anywhere.  Drain the request flags
+  // peers set during the finished phase into the plain per-unit view
+  // consulted by WriteFault, then rendezvous again so no processor starts
+  // the next phase (and issues new requests) before every drain finished.
+  // This quantizes the lazy-diffing cost decisions to barrier phases,
+  // making modelled time independent of host thread scheduling.
+  for (std::size_t u = 0; u < diff_requested_.size(); ++u) {
+    if (diff_requested_[u].load(std::memory_order_relaxed) != 0) {
+      diff_requested_[u].store(0, std::memory_order_relaxed);
+      diff_request_seen_[u] = 1;
+    }
+  }
+  shared_.barrier->Rendezvous();
+  ++sync_phase_;
 
   std::size_t incoming_bytes = 0;
   std::vector<const IntervalRecord*> records =
@@ -432,7 +477,14 @@ void Node::Barrier() {
 }
 
 void Node::AcquireLock(int lock_id) {
-  if (!protocol_enabled()) return;
+  if (num_procs() == 1) return;
+  if (!protocol_enabled()) {
+    // Reference backend: mutual exclusion only.  The grant cannot arrive
+    // before the previous holder released.
+    LockService::Grant grant = shared_.locks->Acquire(lock_id, id_);
+    clock_.AdvanceTo(grant.release_time);
+    return;
+  }
   const CostModel& cost = shared_.config.cost;
 
   LockService::Grant grant = shared_.locks->Acquire(lock_id, id_);
@@ -467,8 +519,8 @@ void Node::AcquireLock(int lock_id) {
 }
 
 void Node::ReleaseLock(int lock_id) {
-  if (!protocol_enabled()) return;
-  CloseInterval();
+  if (num_procs() == 1) return;
+  CloseInterval();  // no-op when the protocol is disabled
   shared_.locks->Release(lock_id, id_, vc_, clock_.now());
 }
 

@@ -52,6 +52,11 @@ struct SharedState {
   std::vector<std::unique_ptr<IntervalArchive>> archives;  // per proc
   std::unique_ptr<BarrierService> barrier;
   std::unique_ptr<LockService> locks;
+  // BackendKind::kReference: the single image all processors access
+  // directly (null under the LRC backend, where every node owns a private
+  // image).  Race-free programs touch disjoint words between
+  // synchronizations, so direct concurrent access is well-defined.
+  std::unique_ptr<std::byte[]> reference_image;
   // Peer access for the lazy-diffing cost flags; filled in by Runtime
   // after node construction.
   std::vector<Node*> nodes;
@@ -91,7 +96,9 @@ class Node {
   WordTracker& word_tracker() { return tracker_; }
   const VectorClock& vector_clock() const { return vc_; }
   DynamicAggregator& aggregator() { return aggregator_; }
-  std::byte* image() { return image_.get(); }
+  // The memory this node's accesses hit: its private image under LRC, the
+  // single shared image under the reference backend.
+  std::byte* image() { return data_; }
   IntervalArchive& archive() { return *shared_.archives[id_]; }
 
   // Close the current open interval (normally driven by release/barrier;
@@ -99,10 +106,15 @@ class Node {
   void CloseInterval();
 
  private:
-  bool protocol_enabled() const { return shared_.config.num_procs > 1; }
+  // The LRC protocol machinery runs only when there is someone to talk to
+  // and the run is not using the sequentially consistent reference oracle.
+  bool protocol_enabled() const {
+    return shared_.config.num_procs > 1 &&
+           shared_.config.backend == BackendKind::kLrc;
+  }
 
   std::span<std::byte> UnitSpan(UnitId unit) {
-    return {image_.get() + shared_.heap.UnitBase(unit), unit_bytes_};
+    return {data_ + shared_.heap.UnitBase(unit), unit_bytes_};
   }
 
   void ReadFault(UnitId unit);
@@ -144,17 +156,25 @@ class Node {
   const std::size_t unit_bytes_;
   const int unit_shift_;
 
-  std::unique_ptr<std::byte[]> image_;
+  std::unique_ptr<std::byte[]> image_;  // private image (LRC; null for ref)
+  std::byte* data_;                     // accesses go here (image_ or shared)
   PageTable table_;
-  // Lazy-diffing cost model (see protocol.cc): a unit whose twin was just
-  // diffed at a release can be re-dirtied for free — in real TreadMarks
-  // the twin simply persists across the release — unless a peer has since
-  // requested a diff of the unit (which in the lazy regime forces diff
-  // creation, twin discard, and re-protection at the writer).
-  std::vector<std::uint8_t> retwin_cheap_;
-  std::vector<std::atomic<std::uint8_t>> diff_requested_;
   WordTracker tracker_;
   std::vector<std::vector<PendingInterval>> pending_;
+  // Lazy-diffing cost model (see protocol.cc): a unit whose twin was just
+  // diffed at a release can be re-dirtied for free — in real TreadMarks
+  // the twin simply persists across the release — unless a peer has
+  // requested a diff of the unit in an earlier barrier phase (which in
+  // the lazy regime forces diff creation, twin discard, and re-protection
+  // at the writer).  Peers set diff_requested_ asynchronously; Barrier
+  // drains it into diff_request_seen_ (the only flag WriteFault consults)
+  // inside the extended barrier window, so the cheap/expensive decision is
+  // quantized to phases and replays deterministically.
+  std::vector<std::uint8_t> retwin_cheap_;
+  std::vector<std::atomic<std::uint8_t>> diff_requested_;
+  std::vector<std::uint8_t> diff_request_seen_;
+  // Completed barrier phases (identical on every node at any given phase).
+  std::uint32_t sync_phase_ = 0;
   DynamicAggregator aggregator_;
 
   VirtualClock clock_;
@@ -172,7 +192,7 @@ class Node {
     const IntervalRecord* rec;  // latest interval of the coalesced chain
     const Diff* diff;
     std::uint32_t exchange_id;
-    bool needs_scan;  // server must materialize (first requester pays)
+    bool needs_scan;  // server must materialize (this requester pays)
   };
   std::vector<std::vector<NeedEntry>> needs_by_writer_;  // indexed by proc
 };
@@ -197,7 +217,7 @@ inline void Node::ReadBytes(GlobalAddr addr, void* out, std::size_t bytes) {
                       static_cast<std::uint32_t>(chunk / kWordBytes),
                       [this](std::uint32_t msg) { comm_stats_.Credit(msg); });
     }
-    std::memcpy(dst, image_.get() + addr, chunk);
+    std::memcpy(dst, data_ + addr, chunk);
     clock_.Advance(static_cast<VirtualNanos>(chunk / kWordBytes) *
                    shared_.config.cost.shared_access);
     addr += chunk;
@@ -222,7 +242,7 @@ inline void Node::WriteBytes(GlobalAddr addr, const void* in,
                        static_cast<std::uint32_t>(offset_in_unit / kWordBytes),
                        static_cast<std::uint32_t>(chunk / kWordBytes));
     }
-    std::memcpy(image_.get() + addr, src, chunk);
+    std::memcpy(data_ + addr, src, chunk);
     clock_.Advance(static_cast<VirtualNanos>(chunk / kWordBytes) *
                    shared_.config.cost.shared_access);
     addr += chunk;

@@ -35,6 +35,18 @@ BarrierService::Result BarrierService::Arrive(ProcId proc,
   return current_;
 }
 
+void BarrierService::Rendezvous() {
+  std::unique_lock lock(mutex_);
+  const std::uint64_t my_generation = rendezvous_generation_;
+  if (++rendezvous_arrived_ == num_procs_) {
+    rendezvous_arrived_ = 0;
+    ++rendezvous_generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return rendezvous_generation_ != my_generation; });
+}
+
 std::uint64_t BarrierService::barriers_completed() const {
   return generation_;
 }

@@ -38,6 +38,14 @@ class BarrierService {
   Result Arrive(ProcId proc, const VectorClock& vc, VirtualNanos arrival_time,
                 std::size_t arrival_bytes);
 
+  // Pure host-level rendezvous with no clock, vc, or statistics effects.
+  // The protocol calls it right after Arrive to extend the barrier into a
+  // window in which every processor is known to be idle, so cross-node
+  // cost-model flags can be read and reset deterministically (no
+  // application faults are in flight anywhere).  Does not count as a
+  // completed barrier.
+  void Rendezvous();
+
   std::uint64_t barriers_completed() const;
 
  private:
@@ -46,6 +54,8 @@ class BarrierService {
   std::condition_variable cv_;
   int arrived_ = 0;
   std::uint64_t generation_ = 0;
+  int rendezvous_arrived_ = 0;
+  std::uint64_t rendezvous_generation_ = 0;
   VectorClock pending_vc_;
   VirtualNanos max_arrival_ = 0;
   std::size_t max_bytes_ = 0;

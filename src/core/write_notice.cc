@@ -24,7 +24,7 @@ const IntervalRecord* IntervalArchive::Append(IntervalRecord record) {
       << "archive appends must be in increasing seq order";
   DSM_CHECK_EQ(record.units.size(), record.diffs.size());
   record.diffed =
-      std::make_unique<std::atomic<std::uint8_t>[]>(record.units.size());
+      std::make_unique<std::atomic<std::uint32_t>[]>(record.units.size());
   records_.push_back(std::move(record));
   return &records_.back();
 }

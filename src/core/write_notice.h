@@ -30,20 +30,35 @@ struct IntervalRecord {
   VectorClock vc;  // clock at close; vc[proc] == seq
   std::vector<UnitId> units;
   std::vector<Diff> diffs;  // parallel to `units`
-  // Lazy-diffing cost model: diffed[i] != 0 once some requester has paid
-  // for materializing the diff of units[i]; later requesters are served
-  // from the writer's diff cache for free.  (The Diff objects themselves
-  // are always materialized eagerly for bookkeeping — archived records
-  // must be immutable for lock-free peer reads.)
-  std::unique_ptr<std::atomic<std::uint8_t>[]> diffed;
+  // Lazy-diffing cost model: diffed[i] holds 1 + the barrier phase in
+  // which the diff of units[i] was first materialized (0 = never).
+  // Requesters from LATER phases are served from the writer's diff cache
+  // for free; the first requester and any requester racing it within the
+  // same phase each pay the twin-scan cost (modelled as concurrent scans
+  // at the server).  Phase granularity keeps the charge independent of
+  // host thread scheduling, so modelled time replays bit-for-bit.  Known
+  // coarseness: phases advance only at barriers, so lock-ordered
+  // requesters between two barriers are all "same phase" and each pay —
+  // conservative for migratory data (lock programs cannot replay
+  // bit-for-bit anyway, since lock transfer order is host-scheduled).  (The
+  // Diff objects themselves are always materialized eagerly for
+  // bookkeeping — archived records must be immutable for lock-free peer
+  // reads.)
+  std::unique_ptr<std::atomic<std::uint32_t>[]> diffed;
 
   // Returns nullptr when this interval did not modify `unit`.
   const Diff* DiffFor(UnitId unit) const;
   // Index of `unit` within units/diffs, or -1.
   int IndexOf(UnitId unit) const;
-  // Marks units[i] as materialized; returns true if this call was first.
-  bool MarkDiffed(int i) const {
-    return diffed[i].exchange(1, std::memory_order_relaxed) == 0;
+  // True iff a requester in barrier phase `phase` pays the scan cost for
+  // materializing units[i]; the first caller stamps the phase.
+  bool PaysForDiff(int i, std::uint32_t phase) const {
+    std::uint32_t expected = 0;
+    if (diffed[i].compare_exchange_strong(expected, phase + 1,
+                                          std::memory_order_relaxed)) {
+      return true;
+    }
+    return expected == phase + 1;
   }
 
   // Serialized size of this interval's write notices on a sync message

@@ -103,6 +103,117 @@ TEST(DynamicAggregator, ShrunkGroupOfOneDissolves) {
   EXPECT_TRUE(agg.GroupOf(0).empty());  // a 1-page group is no group
 }
 
+// --- max_group_pages boundary behaviour -------------------------------------
+
+TEST(DynamicAggregator, MaxGroupOfZeroRejected) {
+  EXPECT_THROW(DynamicAggregator(16, 0), CheckError);
+}
+
+TEST(DynamicAggregator, MaxGroupOfOneNeverGroups) {
+  DynamicAggregator agg(16, 1);
+  for (UnitId u = 0; u < 6; ++u) agg.RecordAccess(u);
+  agg.OnSynchronization();
+  EXPECT_EQ(agg.num_groups(), 0u);
+  for (UnitId u = 0; u < 6; ++u) EXPECT_TRUE(agg.GroupOf(u).empty());
+}
+
+TEST(DynamicAggregator, ExactMultipleFormsFullGroupsOnly) {
+  DynamicAggregator agg(16, 4);
+  for (UnitId u = 0; u < 8; ++u) agg.RecordAccess(u);
+  agg.OnSynchronization();
+  EXPECT_EQ(agg.num_groups(), 2u);
+  ASSERT_EQ(agg.GroupOf(0).size(), 4u);
+  ASSERT_EQ(agg.GroupOf(4).size(), 4u);
+  // No unit straddles the two groups.
+  for (UnitId u = 0; u < 4; ++u) EXPECT_EQ(agg.GroupOf(u)[0], 0u);
+  for (UnitId u = 4; u < 8; ++u) EXPECT_EQ(agg.GroupOf(u)[0], 4u);
+}
+
+TEST(DynamicAggregator, TrailingPartialGroupForms) {
+  DynamicAggregator agg(16, 4);
+  for (UnitId u = 0; u < 6; ++u) agg.RecordAccess(u);
+  agg.OnSynchronization();
+  // 6 = 4 + 2: a full group plus a partial (but >= 2-page) trailing group.
+  EXPECT_EQ(agg.num_groups(), 2u);
+  EXPECT_EQ(agg.GroupOf(0).size(), 4u);
+  ASSERT_EQ(agg.GroupOf(4).size(), 2u);
+  EXPECT_EQ(agg.GroupOf(5).size(), 2u);
+}
+
+// End-to-end: a stable pattern on the LAST pages of the heap forms a
+// partial group at the heap end; group fetches must stay in bounds and
+// deliver correct data.
+TEST(DynamicAggregation, PartialGroupAtHeapEndStaysCorrect) {
+  RuntimeConfig cfg = Config(2, AggregationMode::kDynamic, 1);
+  cfg.heap_bytes = 8 * kBasePageBytes;
+  Runtime rt(cfg);
+  const std::size_t per_page = kBasePageBytes / sizeof(int);
+  auto a = rt.AllocUnitAligned<int>(8 * per_page, "whole_heap");
+  const int iters = 5;
+  int seen[3] = {-1, -1, -1};
+  rt.Run([&](Proc& p) {
+    for (int it = 0; it < iters; ++it) {
+      if (p.id() == 0) {
+        // Write the last three pages (5, 6, 7) — fewer than
+        // max_group_pages (4), so the group that forms is partial and
+        // flush against the end of the heap.
+        for (int pg = 5; pg < 8; ++pg) {
+          p.Write(a, static_cast<std::size_t>(pg) * per_page, 100 * it + pg);
+        }
+      }
+      p.Barrier();
+      if (p.id() == 1) {
+        for (int pg = 5; pg < 8; ++pg) {
+          seen[pg - 5] =
+              p.Read(a, static_cast<std::size_t>(pg) * per_page);
+        }
+      }
+      p.Barrier();
+    }
+  });
+  for (int pg = 5; pg < 8; ++pg) {
+    EXPECT_EQ(seen[pg - 5], 100 * (iters - 1) + pg);
+  }
+  RunStats s = rt.CollectStats();
+  // The steady state fetches the partial group with one fault.
+  EXPECT_GT(s.comm.group_prefetch_units, 0u);
+  EXPECT_GT(s.comm.silent_validations, 0u);
+}
+
+// max_group_pages = 1 end-to-end: dynamic aggregation must degrade to
+// plain 4 K pages — identical message counts, no group prefetches.
+TEST(DynamicAggregation, MaxGroupOneMatchesStaticPages) {
+  RunStats stats[2];
+  int idx = 0;
+  for (AggregationMode mode :
+       {AggregationMode::kStatic, AggregationMode::kDynamic}) {
+    Runtime rt(Config(2, mode, 1, /*max_group=*/1));
+    const std::size_t per_page = kBasePageBytes / sizeof(int);
+    auto a = rt.AllocUnitAligned<int>(4 * per_page, "pages");
+    rt.Run([&](Proc& p) {
+      for (int it = 0; it < 4; ++it) {
+        if (p.id() == 0) {
+          p.Write(a, 0, it);
+          p.Write(a, 2 * per_page, it);
+        }
+        p.Barrier();
+        if (p.id() == 1) {
+          (void)p.Read(a, 0);
+          (void)p.Read(a, 2 * per_page);
+        }
+        p.Barrier();
+      }
+    });
+    stats[idx++] = rt.CollectStats();
+  }
+  EXPECT_EQ(stats[0].comm.useful_messages, stats[1].comm.useful_messages);
+  EXPECT_EQ(stats[0].comm.useless_messages, stats[1].comm.useless_messages);
+  EXPECT_EQ(stats[0].comm.total_data_bytes(),
+            stats[1].comm.total_data_bytes());
+  EXPECT_EQ(stats[1].comm.group_prefetch_units, 0u);
+  EXPECT_EQ(stats[1].comm.silent_validations, 0u);
+}
+
 // --- paper §3 static aggregation scenarios ----------------------------------
 
 // "p1 writes two contiguous pages, synchronizes, p2 reads both": two

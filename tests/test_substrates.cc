@@ -340,7 +340,7 @@ TEST(IntervalArchiveTest, HappenedBeforeViaVectorClocks) {
   EXPECT_FALSE(b_concurrent.HappenedBefore(a));
 }
 
-TEST(IntervalArchiveTest, MarkDiffedFirstCallOnly) {
+TEST(IntervalArchiveTest, PaysForDiffPhaseSemantics) {
   IntervalArchive archive;
   IntervalRecord rec;
   rec.proc = 0;
@@ -348,8 +348,14 @@ TEST(IntervalArchiveTest, MarkDiffedFirstCallOnly) {
   rec.units = {4};
   rec.diffs.resize(1);
   const IntervalRecord* stored = archive.Append(std::move(rec));
-  EXPECT_TRUE(stored->MarkDiffed(0));
-  EXPECT_FALSE(stored->MarkDiffed(0));
+  // First requester pays, and so does any requester in the same phase
+  // (modelled as concurrent scans at the server — keeps the charge
+  // deterministic under host scheduling).
+  EXPECT_TRUE(stored->PaysForDiff(0, 3));
+  EXPECT_TRUE(stored->PaysForDiff(0, 3));
+  // Later phases are served from the writer's diff cache.
+  EXPECT_FALSE(stored->PaysForDiff(0, 4));
+  EXPECT_FALSE(stored->PaysForDiff(0, 7));
 }
 
 TEST(IntervalArchiveTest, ConcurrentAppendAndLookup) {
