@@ -3,6 +3,7 @@
 // modification densities.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <vector>
 
 #include "common/rng.h"
@@ -48,6 +49,61 @@ BENCHMARK(BM_DiffCreate)
     ->Args({4096, 100})
     ->Args({8192, 50})
     ->Args({16384, 50});
+
+// Structured buffers: `num_runs` equally spaced runs of `run_words`
+// modified words each, the rest untouched — the shape real applications
+// produce (block-partitioned writers touch contiguous stretches).
+Buffers MakeRunBuffers(std::size_t bytes, std::size_t num_runs,
+                       std::size_t run_words, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Buffers b;
+  b.twin.resize(bytes);
+  b.current.resize(bytes);
+  const std::size_t words = bytes / kWordBytes;
+  std::vector<std::uint32_t> tw(words), cur(words);
+  for (std::size_t i = 0; i < words; ++i) {
+    tw[i] = static_cast<std::uint32_t>(rng.Next());
+    cur[i] = tw[i];
+  }
+  const std::size_t stride = words / num_runs;
+  for (std::size_t r = 0; r < num_runs; ++r) {
+    for (std::size_t i = 0; i < run_words; ++i) {
+      cur[r * stride + i] = tw[r * stride + i] + 1;
+    }
+  }
+  std::memcpy(b.twin.data(), tw.data(), bytes);
+  std::memcpy(b.current.data(), cur.data(), bytes);
+  return b;
+}
+
+// The perf-gate cases (see ISSUE 2 / README "Performance methodology"):
+// sparse = a few short runs separated by long equal stretches; dense =
+// nearly every word modified in large contiguous runs.
+void BM_DiffCreateSparse(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  Buffers b = MakeRunBuffers(bytes, 4, 8, 42);
+  for (auto _ : state) {
+    Diff d = Diff::Create(b.twin, b.current);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_DiffCreateSparse)->Arg(4096)->Arg(16384);
+
+void BM_DiffCreateDense(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  const std::size_t words = bytes / kWordBytes;
+  // 8 runs covering ~94% of the unit, short equal gaps between them.
+  Buffers b = MakeRunBuffers(bytes, 8, words / 8 - 8, 42);
+  for (auto _ : state) {
+    Diff d = Diff::Create(b.twin, b.current);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_DiffCreateDense)->Arg(4096)->Arg(16384);
 
 void BM_DiffApply(benchmark::State& state) {
   const std::size_t bytes = static_cast<std::size_t>(state.range(0));

@@ -1,0 +1,199 @@
+// Host wall-clock benchmark gate for the simulator's hot paths.
+//
+// Runs the conformance applications at scaled-up (paper-sized) datasets
+// under the three aggregation modes of the sweep ({4 K, 16 K, Dyn} × LRC)
+// and reports, per row:
+//
+//   * host wall-clock (what engine optimizations are allowed to change),
+//   * modelled execution time (what they must NOT change),
+//   * a 64-bit FNV-1a fingerprint over the full modelled state — result
+//     checksum bits, per-node virtual times, every CommBreakdown counter,
+//     and the per-kind NetStats tallies.
+//
+// Rows whose application is bit-deterministic at a fixed configuration
+// (every conformance scenario with rel_tol == 0) are marked "stable": their
+// fingerprint must be bit-identical across engine changes, making this
+// binary a before/after gate for performance work.  Results land in
+// BENCH_wallclock.json at the repository root (override with --out=PATH)
+// so the perf trajectory is tracked from PR to PR.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/registry.h"
+
+namespace dsm::bench {
+namespace {
+
+// FNV-1a, 64-bit: stable, dependency-free fingerprint accumulator.
+class Fingerprint {
+ public:
+  void Mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xff;
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  void MixDouble(double d) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    Mix(bits);
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+std::uint64_t ModelledFingerprint(double result, const RunStats& stats) {
+  Fingerprint fp;
+  fp.MixDouble(result);
+  fp.Mix(static_cast<std::uint64_t>(stats.exec_time));
+  for (VirtualNanos t : stats.node_times) {
+    fp.Mix(static_cast<std::uint64_t>(t));
+  }
+  const CommBreakdown& c = stats.comm;
+  for (std::uint64_t v :
+       {c.useful_messages, c.useless_messages, c.sync_messages,
+        c.useful_data_bytes, c.piggyback_useless_bytes,
+        c.useless_msg_data_bytes, c.delivered_data_bytes, c.read_faults,
+        c.write_faults, c.silent_validations, c.twins_created,
+        c.diffs_created, c.diffs_applied, c.units_invalidated,
+        c.group_prefetch_units}) {
+    fp.Mix(v);
+  }
+  for (std::size_t k = 0; k < kNumMessageKinds; ++k) {
+    const auto kind = static_cast<MessageKind>(k);
+    fp.Mix(stats.net.messages(kind));
+    fp.Mix(stats.net.bytes(kind));
+  }
+  return fp.value();
+}
+
+struct ModePoint {
+  const char* label;
+  AggregationMode mode;
+  int pages_per_unit;
+};
+
+// The conformance sweep's aggregation modes (tests/test_conformance.cc).
+const ModePoint kModes[] = {
+    {"4K", AggregationMode::kStatic, 1},
+    {"16K", AggregationMode::kStatic, 4},
+    {"Dyn", AggregationMode::kDynamic, 1},
+};
+
+struct BenchScenario {
+  const char* app;
+  const char* dataset;  // scaled-up counterpart of the "tiny" scenario
+  bool stable;          // rel_tol == 0 in the conformance catalogue
+};
+
+// One row per conformance application, at the smallest paper-sized dataset
+// (the "tiny" conformance inputs finish in microseconds and would measure
+// only startup).  Water and TSP synchronize through locks, whose grant
+// order depends on host scheduling — their modelled state is not
+// bit-reproducible run to run, so they are benchmarked but not gated.
+const BenchScenario kScenarios[] = {
+    {"Jacobi", "1Kx1K", true},    {"MGS", "1Kx1K", true},
+    {"3D-FFT", "64x64x32", true}, {"Shallow", "1Kx0.5K", true},
+    {"Barnes", "16K", true},      {"ILINK", "CLP", true},
+    {"Water", "512", false},      {"TSP", "11-city", false},
+};
+
+struct Row {
+  std::string app, dataset, mode;
+  bool stable = false;
+  double wall_ms = 0;
+  double modelled_ms = 0;
+  double result = 0;
+  std::uint64_t fingerprint = 0;
+};
+
+Row RunCell(const BenchScenario& s, const ModePoint& mode, int num_procs) {
+  RuntimeConfig cfg;
+  cfg.num_procs = num_procs;
+  cfg.aggregation = mode.mode;
+  cfg.pages_per_unit = mode.pages_per_unit;
+
+  auto app = apps::MakeApp(s.app, s.dataset);
+  const auto t0 = std::chrono::steady_clock::now();
+  const apps::AppRun run = apps::Execute(*app, cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Row row;
+  row.app = s.app;
+  row.dataset = s.dataset;
+  row.mode = mode.label;
+  row.stable = s.stable;
+  row.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  row.modelled_ms = run.stats.exec_seconds() * 1e3;
+  row.result = run.result;
+  row.fingerprint = ModelledFingerprint(run.result, run.stats);
+  return row;
+}
+
+void WriteJson(const std::vector<Row>& rows, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"app\": \"%s\", \"dataset\": \"%s\", \"mode\": "
+                 "\"%s\", \"stable\": %s, \"wall_ms\": %.3f, "
+                 "\"modelled_ms\": %.6f, \"result\": %.17g, "
+                 "\"fingerprint\": \"%016llx\"}%s\n",
+                 r.app.c_str(), r.dataset.c_str(), r.mode.c_str(),
+                 r.stable ? "true" : "false", r.wall_ms, r.modelled_ms,
+                 r.result,
+                 static_cast<unsigned long long>(r.fingerprint),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace dsm::bench
+
+int main(int argc, char** argv) {
+  using namespace dsm::bench;
+#ifdef PAGEDSM_SOURCE_DIR
+  std::string out = std::string(PAGEDSM_SOURCE_DIR) + "/BENCH_wallclock.json";
+#else
+  std::string out = "BENCH_wallclock.json";
+#endif
+  int num_procs = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out = argv[i] + 6;
+    if (std::strncmp(argv[i], "--procs=", 8) == 0) {
+      num_procs = std::atoi(argv[i] + 8);
+    }
+  }
+
+  std::vector<Row> rows;
+  std::printf("%-8s %-10s %-4s %10s %14s  %-16s %s\n", "app", "dataset",
+              "cfg", "wall(ms)", "modelled(ms)", "fingerprint", "stable");
+  for (const BenchScenario& s : kScenarios) {
+    for (const ModePoint& mode : kModes) {
+      Row row = RunCell(s, mode, num_procs);
+      std::printf("%-8s %-10s %-4s %10.1f %14.3f  %016llx %s\n",
+                  row.app.c_str(), row.dataset.c_str(), row.mode.c_str(),
+                  row.wall_ms, row.modelled_ms,
+                  static_cast<unsigned long long>(row.fingerprint),
+                  row.stable ? "yes" : "no");
+      rows.push_back(std::move(row));
+    }
+  }
+  WriteJson(rows, out);
+  return 0;
+}

@@ -45,6 +45,9 @@ Node::Node(ProcId id, SharedState& shared)
       shared_(shared),
       unit_bytes_(shared.heap.unit_bytes()),
       unit_shift_(shared.heap.unit_shift()),
+      protocol_enabled_(shared.config.num_procs > 1 &&
+                        shared.config.backend == BackendKind::kLrc),
+      shared_access_cost_(shared.config.cost.shared_access),
       image_(shared.reference_image
                  ? nullptr
                  : new std::byte[shared.heap.heap_bytes()]()),
@@ -60,6 +63,54 @@ Node::Node(ProcId id, SharedState& shared)
       vc_(shared.config.num_procs),
       notices_seen_(shared.config.num_procs),
       needs_by_writer_(shared.config.num_procs) {}
+
+void Node::ReadBytesSlow(GlobalAddr addr, void* out, std::size_t bytes) {
+  auto* dst = static_cast<std::byte*>(out);
+  const std::size_t total_words = bytes / kWordBytes;
+  while (bytes > 0) {
+    const UnitId unit = static_cast<UnitId>(addr >> unit_shift_);
+    const std::size_t offset_in_unit = addr & (unit_bytes_ - 1);
+    const std::size_t chunk = std::min(bytes, unit_bytes_ - offset_in_unit);
+    if (protocol_enabled_) {
+      if (table_.NeedsFaultOnRead(unit)) ReadFault(unit);
+      tracker_.OnRead(unit,
+                      static_cast<std::uint32_t>(offset_in_unit / kWordBytes),
+                      static_cast<std::uint32_t>(chunk / kWordBytes),
+                      [this](std::uint32_t msg) { comm_stats_.Credit(msg); });
+    }
+    std::memcpy(dst, data_ + addr, chunk);
+    addr += chunk;
+    dst += chunk;
+    bytes -= chunk;
+  }
+  // One batched update for the whole access (integer sums are exact, so
+  // the modelled time matches the former per-chunk advances bit for bit).
+  clock_.Advance(static_cast<VirtualNanos>(total_words) *
+                 shared_access_cost_);
+}
+
+void Node::WriteBytesSlow(GlobalAddr addr, const void* in,
+                          std::size_t bytes) {
+  auto* src = static_cast<const std::byte*>(in);
+  const std::size_t total_words = bytes / kWordBytes;
+  while (bytes > 0) {
+    const UnitId unit = static_cast<UnitId>(addr >> unit_shift_);
+    const std::size_t offset_in_unit = addr & (unit_bytes_ - 1);
+    const std::size_t chunk = std::min(bytes, unit_bytes_ - offset_in_unit);
+    if (protocol_enabled_) {
+      if (table_.NeedsFaultOnWrite(unit)) WriteFault(unit);
+      tracker_.OnWrite(unit,
+                       static_cast<std::uint32_t>(offset_in_unit / kWordBytes),
+                       static_cast<std::uint32_t>(chunk / kWordBytes));
+    }
+    std::memcpy(data_ + addr, src, chunk);
+    addr += chunk;
+    src += chunk;
+    bytes -= chunk;
+  }
+  clock_.Advance(static_cast<VirtualNanos>(total_words) *
+                 shared_access_cost_);
+}
 
 void Node::ReadFault(UnitId unit) {
   const CostModel& cost = shared_.config.cost;
@@ -124,7 +175,9 @@ void Node::ValidateUnit(UnitId unit) {
       << "invalid unit " << unit << " with no pending write notices";
 
   retwin_cheap_[unit] = 0;
-  std::vector<UnitId> fetch{unit};
+  std::vector<UnitId>& fetch = fetch_scratch_;
+  fetch.clear();
+  fetch.push_back(unit);
   if (dynamic) {
     for (UnitId member : aggregator_.GroupOf(unit)) {
       if (member == unit) continue;
@@ -163,16 +216,13 @@ void Node::FetchUnits(const std::vector<UnitId>& units) {
   // it, a page repeatedly rewritten by one processor ships its entire
   // modification history on first fetch).
   for (auto& v : needs_by_writer_) v.clear();
-  std::deque<Diff> merged_storage;
+  std::deque<Diff>& merged_storage = merged_scratch_;
+  merged_storage.clear();
   for (UnitId unit : units) {
     // Resolve all pending notices of this unit first (needed for the
     // foreign-interval ordering checks).
-    struct Resolved {
-      const IntervalRecord* rec;
-      const Diff* diff;
-      bool pays_for_scan;
-    };
-    std::vector<Resolved> all;
+    std::vector<ResolvedDiff>& all = resolved_scratch_;
+    all.clear();
     all.reserve(pending_[unit].size());
     for (const PendingInterval& pi : pending_[unit]) {
       DSM_CHECK_NE(pi.proc, id_);
@@ -188,8 +238,9 @@ void Node::FetchUnits(const std::vector<UnitId>& units) {
     for (ProcId w = 0; w < nprocs; ++w) {
       // This writer's intervals, in increasing seq order (pending notices
       // arrive in acquire order, which respects per-writer seq order).
-      std::vector<const Resolved*> chain_input;
-      for (const Resolved& r : all) {
+      std::vector<const ResolvedDiff*>& chain_input = chain_scratch_;
+      chain_input.clear();
+      for (const ResolvedDiff& r : all) {
         if (r.rec->proc == w) chain_input.push_back(&r);
       }
       if (chain_input.empty()) continue;
@@ -198,7 +249,7 @@ void Node::FetchUnits(const std::vector<UnitId>& units) {
       // this requester pays to materialize; everything materialized in an
       // earlier phase is served from the writer's diff cache.
       bool needs_scan = false;
-      for (const Resolved* r : chain_input) {
+      for (const ResolvedDiff* r : chain_input) {
         if (r->pays_for_scan) needs_scan = true;
       }
       const IntervalRecord* chain_first = nullptr;
@@ -211,7 +262,7 @@ void Node::FetchUnits(const std::vector<UnitId>& units) {
       };
       shared_.nodes[w]->diff_requested_[unit].store(
           1, std::memory_order_relaxed);
-      for (const Resolved* r : chain_input) {
+      for (const ResolvedDiff* r : chain_input) {
         if (chain_diff == nullptr) {
           chain_first = r->rec;
           chain_last = r->rec;
@@ -221,7 +272,7 @@ void Node::FetchUnits(const std::vector<UnitId>& units) {
         // May we absorb r into the chain?  Every foreign interval must be
         // either not-after the head or after the candidate tail.
         bool safe = true;
-        for (const Resolved& q : all) {
+        for (const ResolvedDiff& q : all) {
           if (q.rec->proc == w) continue;
           if (chain_first->HappenedBefore(*q.rec) &&
               !r->rec->HappenedBefore(*q.rec)) {
@@ -292,7 +343,7 @@ void Node::FetchUnits(const std::vector<UnitId>& units) {
   // overlap words, e.g. migratory data under locks; concurrent intervals
   // touch disjoint words in race-free programs).
   const bool track = shared_.config.track_usage;
-  std::vector<NeedEntry> for_unit;
+  std::vector<NeedEntry>& for_unit = apply_scratch_;
   for (UnitId unit : units) {
     for_unit.clear();
     for (ProcId w = 0; w < nprocs; ++w) {
@@ -368,9 +419,10 @@ void Node::CloseInterval() {
   shared_.archives[id_]->Append(std::move(rec));
 }
 
-std::vector<const IntervalRecord*> Node::CollectNotices(
-    const VectorClock& target, std::size_t* notice_bytes) const {
-  std::vector<const IntervalRecord*> records;
+void Node::CollectNotices(const VectorClock& target,
+                          std::size_t* notice_bytes,
+                          std::vector<const IntervalRecord*>& out) const {
+  out.clear();
   std::size_t bytes = 0;
   for (ProcId p = 0; p < num_procs(); ++p) {
     if (p == id_) continue;
@@ -378,11 +430,10 @@ std::vector<const IntervalRecord*> Node::CollectNotices(
     auto range = shared_.archives[p]->Range(notices_seen_[p], target[p]);
     for (const IntervalRecord* rec : range) {
       bytes += rec->NoticeBytes();
-      records.push_back(rec);
+      out.push_back(rec);
     }
   }
   if (notice_bytes != nullptr) *notice_bytes = bytes;
-  return records;
 }
 
 void Node::InvalidateFrom(
@@ -448,8 +499,8 @@ void Node::Barrier() {
   ++sync_phase_;
 
   std::size_t incoming_bytes = 0;
-  std::vector<const IntervalRecord*> records =
-      CollectNotices(res.global_vc, &incoming_bytes);
+  std::vector<const IntervalRecord*>& records = notice_scratch_;
+  CollectNotices(res.global_vc, &incoming_bytes, records);
 
   // Modelled barrier cost (centralized manager at proc 0): all clients ship
   // arrival messages; the manager processes every arrival, then ships
@@ -497,8 +548,8 @@ void Node::AcquireLock(int lock_id) {
   VectorClock target = vc_;
   target.Merge(grant.release_vc);
   std::size_t notice_bytes = 0;
-  std::vector<const IntervalRecord*> records =
-      CollectNotices(target, &notice_bytes);
+  std::vector<const IntervalRecord*>& records = notice_scratch_;
+  CollectNotices(target, &notice_bytes, records);
 
   // Request travels to the manager/holder; the grant returns with the
   // write notices the acquirer has not yet seen.  The grant cannot arrive

@@ -24,6 +24,7 @@
 
 #include <cstring>
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -108,14 +109,18 @@ class Node {
  private:
   // The LRC protocol machinery runs only when there is someone to talk to
   // and the run is not using the sequentially consistent reference oracle.
-  bool protocol_enabled() const {
-    return shared_.config.num_procs > 1 &&
-           shared_.config.backend == BackendKind::kLrc;
-  }
+  // Fixed at construction; cached so the access fast path pays one bool
+  // load instead of two config reads.
+  bool protocol_enabled() const { return protocol_enabled_; }
 
   std::span<std::byte> UnitSpan(UnitId unit) {
     return {data_ + shared_.heap.UnitBase(unit), unit_bytes_};
   }
+
+  // Accesses spanning multiple consistency units (rare): the per-unit
+  // chunk loop behind the inline single-unit fast path.
+  void ReadBytesSlow(GlobalAddr addr, void* out, std::size_t bytes);
+  void WriteBytesSlow(GlobalAddr addr, const void* in, std::size_t bytes);
 
   void ReadFault(UnitId unit);
   void WriteFault(UnitId unit);
@@ -134,10 +139,11 @@ class Node {
   void TwinUnit(UnitId unit, bool cheap = false);
 
   // Collect archive records newly covered by `target` (all procs except
-  // self), in (proc, seq) order.  Returns the records and their total
-  // write-notice payload size.
-  std::vector<const IntervalRecord*> CollectNotices(
-      const VectorClock& target, std::size_t* notice_bytes) const;
+  // self), in (proc, seq) order, into `out` (cleared first; callers pass
+  // the reusable notice_scratch_).  Also reports their total write-notice
+  // payload size.
+  void CollectNotices(const VectorClock& target, std::size_t* notice_bytes,
+                      std::vector<const IntervalRecord*>& out) const;
 
   // Invalidate the units named in `records` and queue pending notices.
   void InvalidateFrom(const std::vector<const IntervalRecord*>& records);
@@ -155,6 +161,10 @@ class Node {
   SharedState& shared_;
   const std::size_t unit_bytes_;
   const int unit_shift_;
+  const bool protocol_enabled_;
+  // Per-word cost of a shared access, cached off the config for the
+  // fast path.
+  const VirtualNanos shared_access_cost_;
 
   std::unique_ptr<std::byte[]> image_;  // private image (LRC; null for ref)
   std::byte* data_;                     // accesses go here (image_ or shared)
@@ -186,7 +196,9 @@ class Node {
   CommStats comm_stats_;
   NetStats net_stats_;
 
-  // Scratch buffers reused across faults.
+  // Scratch buffers reused across faults and synchronizations, so the
+  // steady-state fault path performs no allocations (vector capacity and
+  // pooled diff storage persist between calls).
   struct NeedEntry {
     UnitId unit;
     const IntervalRecord* rec;  // latest interval of the coalesced chain
@@ -194,7 +206,18 @@ class Node {
     std::uint32_t exchange_id;
     bool needs_scan;  // server must materialize (this requester pays)
   };
+  struct ResolvedDiff {
+    const IntervalRecord* rec;
+    const Diff* diff;
+    bool pays_for_scan;
+  };
   std::vector<std::vector<NeedEntry>> needs_by_writer_;  // indexed by proc
+  std::vector<ResolvedDiff> resolved_scratch_;        // FetchUnits
+  std::vector<const ResolvedDiff*> chain_scratch_;    // FetchUnits
+  std::deque<Diff> merged_scratch_;                   // FetchUnits
+  std::vector<NeedEntry> apply_scratch_;              // FetchUnits
+  std::vector<UnitId> fetch_scratch_;                 // ValidateUnit
+  std::vector<const IntervalRecord*> notice_scratch_;  // Barrier/AcquireLock
 };
 
 // ---------------------------------------------------------------------------
@@ -204,51 +227,50 @@ class Node {
 inline void Node::ReadBytes(GlobalAddr addr, void* out, std::size_t bytes) {
   DSM_DCHECK(addr % kWordBytes == 0 && bytes % kWordBytes == 0);
   DSM_DCHECK(addr + bytes <= shared_.heap.heap_bytes());
-  auto* dst = static_cast<std::byte*>(out);
-  const bool proto = protocol_enabled();
-  while (bytes > 0) {
-    const UnitId unit = static_cast<UnitId>(addr >> unit_shift_);
-    const std::size_t offset_in_unit = addr & (unit_bytes_ - 1);
-    const std::size_t chunk = std::min(bytes, unit_bytes_ - offset_in_unit);
-    if (proto) {
-      if (table_.NeedsFaultOnRead(unit)) ReadFault(unit);
+  const UnitId unit = static_cast<UnitId>(addr >> unit_shift_);
+  const std::size_t offset_in_unit = addr & (unit_bytes_ - 1);
+  if (offset_in_unit + bytes <= unit_bytes_) [[likely]] {
+    // Single-unit fast path (the overwhelmingly common case): one inline
+    // protection-state load, one fresh-count check, one memcpy, one
+    // batched clock update.
+    if (protocol_enabled_) {
+      if (table_.NeedsFaultOnRead(unit)) [[unlikely]] {
+        ReadFault(unit);
+      }
       tracker_.OnRead(unit,
                       static_cast<std::uint32_t>(offset_in_unit / kWordBytes),
-                      static_cast<std::uint32_t>(chunk / kWordBytes),
+                      static_cast<std::uint32_t>(bytes / kWordBytes),
                       [this](std::uint32_t msg) { comm_stats_.Credit(msg); });
     }
-    std::memcpy(dst, data_ + addr, chunk);
-    clock_.Advance(static_cast<VirtualNanos>(chunk / kWordBytes) *
-                   shared_.config.cost.shared_access);
-    addr += chunk;
-    dst += chunk;
-    bytes -= chunk;
+    std::memcpy(out, data_ + addr, bytes);
+    clock_.Advance(static_cast<VirtualNanos>(bytes / kWordBytes) *
+                   shared_access_cost_);
+    return;
   }
+  ReadBytesSlow(addr, out, bytes);
 }
 
 inline void Node::WriteBytes(GlobalAddr addr, const void* in,
                              std::size_t bytes) {
   DSM_DCHECK(addr % kWordBytes == 0 && bytes % kWordBytes == 0);
   DSM_DCHECK(addr + bytes <= shared_.heap.heap_bytes());
-  auto* src = static_cast<const std::byte*>(in);
-  const bool proto = protocol_enabled();
-  while (bytes > 0) {
-    const UnitId unit = static_cast<UnitId>(addr >> unit_shift_);
-    const std::size_t offset_in_unit = addr & (unit_bytes_ - 1);
-    const std::size_t chunk = std::min(bytes, unit_bytes_ - offset_in_unit);
-    if (proto) {
-      if (table_.NeedsFaultOnWrite(unit)) WriteFault(unit);
+  const UnitId unit = static_cast<UnitId>(addr >> unit_shift_);
+  const std::size_t offset_in_unit = addr & (unit_bytes_ - 1);
+  if (offset_in_unit + bytes <= unit_bytes_) [[likely]] {
+    if (protocol_enabled_) {
+      if (table_.NeedsFaultOnWrite(unit)) [[unlikely]] {
+        WriteFault(unit);
+      }
       tracker_.OnWrite(unit,
                        static_cast<std::uint32_t>(offset_in_unit / kWordBytes),
-                       static_cast<std::uint32_t>(chunk / kWordBytes));
+                       static_cast<std::uint32_t>(bytes / kWordBytes));
     }
-    std::memcpy(data_ + addr, src, chunk);
-    clock_.Advance(static_cast<VirtualNanos>(chunk / kWordBytes) *
-                   shared_.config.cost.shared_access);
-    addr += chunk;
-    src += chunk;
-    bytes -= chunk;
+    std::memcpy(data_ + addr, in, bytes);
+    clock_.Advance(static_cast<VirtualNanos>(bytes / kWordBytes) *
+                   shared_access_cost_);
+    return;
   }
+  WriteBytesSlow(addr, in, bytes);
 }
 
 }  // namespace dsm

@@ -1,83 +1,260 @@
 #include "mem/diff.h"
 
+#include <algorithm>
 #include <cstring>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 #include "common/check.h"
 
 namespace dsm {
+namespace {
+
+// All loads go through std::memcpy: the underlying storage is std::byte
+// buffers (unit images, twins), and dereferencing them through a
+// reinterpret_cast'd std::uint32_t* would be undefined behavior (strict
+// aliasing; alignment is only guaranteed by the owning allocations).
+// Compilers turn these into single mov instructions.
+inline std::uint32_t Load32(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline std::uint64_t Load64(const std::byte* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+// Nonzero if either 32-bit lane of `x` is zero (may rarely report a false
+// positive in the high lane when the low lane is zero — callers treat a hit
+// as "re-check word by word", so only speed, not correctness, depends on
+// exactness).
+inline std::uint64_t ZeroLaneMask(std::uint64_t x) {
+  return (x - 0x0000000100000001ull) & ~x & 0x8000000080000000ull;
+}
+
+// True if all 16 words of the 64-byte block at `t` differ from the block at
+// `c` — the run-extension probe.  SSE2 (x86-64 baseline) compares four
+// words per instruction; the scalar fallback folds zero-lane masks of
+// 64-bit XORs.
+inline bool AllWordsDiffer64(const std::byte* t, const std::byte* c) {
+#if defined(__SSE2__)
+  const auto* tv = reinterpret_cast<const __m128i*>(t);
+  const auto* cv = reinterpret_cast<const __m128i*>(c);
+  const __m128i eq01 =
+      _mm_or_si128(_mm_cmpeq_epi32(_mm_loadu_si128(tv),
+                                   _mm_loadu_si128(cv)),
+                   _mm_cmpeq_epi32(_mm_loadu_si128(tv + 1),
+                                   _mm_loadu_si128(cv + 1)));
+  const __m128i eq23 =
+      _mm_or_si128(_mm_cmpeq_epi32(_mm_loadu_si128(tv + 2),
+                                   _mm_loadu_si128(cv + 2)),
+                   _mm_cmpeq_epi32(_mm_loadu_si128(tv + 3),
+                                   _mm_loadu_si128(cv + 3)));
+  return _mm_movemask_epi8(_mm_or_si128(eq01, eq23)) == 0;
+#else
+  std::uint64_t any_equal = 0;
+  for (int k = 0; k < 64; k += 8) {
+    any_equal |= ZeroLaneMask(Load64(t + k) ^ Load64(c + k));
+  }
+  return any_equal == 0;
+#endif
+}
+
+}  // namespace
 
 Diff Diff::Create(std::span<const std::byte> twin,
                   std::span<const std::byte> current) {
   DSM_CHECK_EQ(twin.size(), current.size());
   DSM_CHECK_EQ(twin.size() % kWordBytes, 0u);
   const std::size_t num_words = twin.size() / kWordBytes;
+  const std::byte* tp = twin.data();
+  const std::byte* cp = current.data();
 
   Diff diff;
-  const auto* tw = reinterpret_cast<const std::uint32_t*>(twin.data());
-  const auto* cur = reinterpret_cast<const std::uint32_t*>(current.data());
+  diff.runs_.reserve(8);
 
+  // Pass 1: find the maximal runs of differing words, 64 bits at a time.
+  // Equal stretches skip a word pair per compare and escalate to whole
+  // cache lines (memcmp vectorizes) once 64 equal bytes are seen in a row,
+  // so dense regions never pay for failing wide probes; runs extend four
+  // words per iteration off two 64-bit XORs.
   std::size_t i = 0;
+  std::size_t total_words = 0;
   while (i < num_words) {
-    if (tw[i] == cur[i]) {
-      ++i;
+    const std::size_t streak_base = i;
+    while (i + 2 <= num_words &&
+           Load64(tp + i * kWordBytes) == Load64(cp + i * kWordBytes)) {
+      i += 2;
+      if (i - streak_base == 16) {  // long equal stretch: leap cache lines
+        while (i + 16 <= num_words &&
+               std::memcmp(tp + i * kWordBytes, cp + i * kWordBytes, 64) ==
+                   0) {
+          i += 16;
+        }
+        while (i + 2 <= num_words &&
+               Load64(tp + i * kWordBytes) == Load64(cp + i * kWordBytes)) {
+          i += 2;
+        }
+        break;
+      }
+    }
+    if (i >= num_words) break;
+    if (Load32(tp + i * kWordBytes) == Load32(cp + i * kWordBytes)) {
+      ++i;  // second word of an unequal pair starts the run
       continue;
     }
     const std::size_t run_start = i;
-    while (i < num_words && tw[i] != cur[i]) ++i;
+    ++i;
+    // Extend a cache line at a time while every word in the block differs,
+    // then pin the exact boundary word by word.
+    while (i + 16 <= num_words &&
+           AllWordsDiffer64(tp + i * kWordBytes, cp + i * kWordBytes)) {
+      i += 16;
+    }
+    while (i + 2 <= num_words) {
+      const std::uint64_t x =
+          Load64(tp + i * kWordBytes) ^ Load64(cp + i * kWordBytes);
+      if (ZeroLaneMask(x) != 0) break;  // conservative: word loop decides
+      i += 2;
+    }
+    while (i < num_words &&
+           Load32(tp + i * kWordBytes) != Load32(cp + i * kWordBytes)) {
+      ++i;
+    }
     diff.runs_.push_back({static_cast<std::uint32_t>(run_start),
                           static_cast<std::uint32_t>(i - run_start)});
-    diff.payload_.insert(diff.payload_.end(), cur + run_start, cur + i);
+    total_words += i - run_start;
+  }
+
+  // Pass 2: one exact payload allocation, bulk-copied run by run.
+  diff.payload_.reserve(total_words * kWordBytes);
+  for (const DiffRun& run : diff.runs_) {
+    const std::byte* src = cp + std::size_t{run.word_offset} * kWordBytes;
+    diff.payload_.insert(diff.payload_.end(), src,
+                         src + std::size_t{run.word_count} * kWordBytes);
   }
   return diff;
 }
 
+std::uint32_t Diff::payload_word(std::size_t i) const {
+  DSM_CHECK_LT(i, payload_words());
+  return Load32(payload_.data() + i * kWordBytes);
+}
+
 Diff Diff::Merge(const Diff& older, const Diff& newer,
                  std::size_t words_per_unit) {
-  std::vector<std::uint32_t> value(words_per_unit, 0);
-  std::vector<bool> written(words_per_unit, false);
-  auto absorb = [&](const Diff& d) {
-    std::size_t payload_pos = 0;
-    for (const DiffRun& run : d.runs_) {
-      DSM_CHECK_LE(static_cast<std::size_t>(run.word_offset) + run.word_count,
-                   words_per_unit);
-      for (std::uint32_t i = 0; i < run.word_count; ++i) {
-        value[run.word_offset + i] = d.payload_[payload_pos + i];
-        written[run.word_offset + i] = true;
-      }
-      payload_pos += run.word_count;
-    }
-  };
-  absorb(older);
-  absorb(newer);
+  const std::vector<DiffRun>& ra = older.runs_;
+  const std::vector<DiffRun>& rb = newer.runs_;
+  for (const DiffRun& r : ra) {
+    DSM_CHECK_LE(static_cast<std::size_t>(r.word_offset) + r.word_count,
+                 words_per_unit);
+  }
+  for (const DiffRun& r : rb) {
+    DSM_CHECK_LE(static_cast<std::size_t>(r.word_offset) + r.word_count,
+                 words_per_unit);
+  }
 
   Diff merged;
-  std::size_t i = 0;
-  while (i < words_per_unit) {
-    if (!written[i]) {
-      ++i;
-      continue;
+  merged.runs_.reserve(ra.size() + rb.size());
+  merged.payload_.reserve(older.payload_.size() + newer.payload_.size());
+
+  // Emit a segment, coalescing with the previous one when adjacent (both
+  // inputs have canonical runs, so output runs stay maximal and disjoint).
+  auto append = [&merged](std::uint32_t offset, const std::byte* bytes,
+                          std::uint32_t count) {
+    if (count == 0) return;
+    if (!merged.runs_.empty() &&
+        merged.runs_.back().word_offset + merged.runs_.back().word_count ==
+            offset) {
+      merged.runs_.back().word_count += count;
+    } else {
+      merged.runs_.push_back({offset, count});
     }
-    const std::size_t run_start = i;
-    while (i < words_per_unit && written[i]) ++i;
-    merged.runs_.push_back({static_cast<std::uint32_t>(run_start),
-                            static_cast<std::uint32_t>(i - run_start)});
-    merged.payload_.insert(merged.payload_.end(), value.begin() + run_start,
-                           value.begin() + i);
+    merged.payload_.insert(merged.payload_.end(), bytes,
+                           bytes + std::size_t{count} * kWordBytes);
+  };
+
+  // Two-pointer walk over both sorted run lists: O(runs + payload), no
+  // per-word scratch.  `newer` wins on overlapping words.
+  std::size_t ai = 0, bi = 0;
+  std::size_t apay = 0, bpay = 0;  // payload word index of run ai / bi
+  std::uint32_t a_done = 0;        // words of run ai already emitted/dropped
+  auto a_bytes = [&](std::size_t words_in) {
+    return older.payload_.data() + (apay + words_in) * kWordBytes;
+  };
+  auto b_bytes = [&] { return newer.payload_.data() + bpay * kWordBytes; };
+  while (ai < ra.size() && bi < rb.size()) {
+    const DiffRun& a = ra[ai];
+    const DiffRun& b = rb[bi];
+    const std::uint32_t a_start = a.word_offset + a_done;
+    const std::uint32_t a_end = a.word_offset + a.word_count;
+    const std::uint32_t b_end = b.word_offset + b.word_count;
+    if (a_end <= b.word_offset) {
+      // Older run entirely before the next newer run.
+      append(a_start, a_bytes(a_done), a_end - a_start);
+      apay += a.word_count;
+      ++ai;
+      a_done = 0;
+    } else if (b_end <= a_start) {
+      // Newer run entirely before the rest of the older run.
+      append(b.word_offset, b_bytes(), b.word_count);
+      bpay += b.word_count;
+      ++bi;
+    } else {
+      // Overlap: the older prefix survives, then the whole newer run; every
+      // older word the newer run covers is dropped.
+      if (a_start < b.word_offset) {
+        append(a_start, a_bytes(a_done), b.word_offset - a_start);
+      }
+      append(b.word_offset, b_bytes(), b.word_count);
+      bpay += b.word_count;
+      ++bi;
+      while (ai < ra.size()) {
+        const DiffRun& drop = ra[ai];
+        if (drop.word_offset + drop.word_count <= b_end) {
+          apay += drop.word_count;
+          ++ai;
+          a_done = 0;
+          continue;
+        }
+        if (drop.word_offset < b_end) {
+          a_done = std::max(a_done, b_end - drop.word_offset);
+        }
+        break;
+      }
+    }
+  }
+  while (ai < ra.size()) {
+    const DiffRun& a = ra[ai];
+    append(a.word_offset + a_done, a_bytes(a_done), a.word_count - a_done);
+    apay += a.word_count;
+    ++ai;
+    a_done = 0;
+  }
+  while (bi < rb.size()) {
+    append(rb[bi].word_offset, b_bytes(), rb[bi].word_count);
+    bpay += rb[bi].word_count;
+    ++bi;
   }
   return merged;
 }
 
 void Diff::Apply(std::span<std::byte> dst) const {
-  auto* out = reinterpret_cast<std::uint32_t*>(dst.data());
   const std::size_t num_words = dst.size() / kWordBytes;
-  std::size_t payload_pos = 0;
+  std::size_t payload_pos = 0;  // bytes
   for (const DiffRun& run : runs_) {
     DSM_CHECK_LE(static_cast<std::size_t>(run.word_offset) + run.word_count,
                  num_words)
         << "diff run exceeds destination unit";
-    std::memcpy(out + run.word_offset, payload_.data() + payload_pos,
-                run.word_count * kWordBytes);
-    payload_pos += run.word_count;
+    const std::size_t run_bytes = std::size_t{run.word_count} * kWordBytes;
+    std::memcpy(dst.data() + std::size_t{run.word_offset} * kWordBytes,
+                payload_.data() + payload_pos, run_bytes);
+    payload_pos += run_bytes;
   }
   DSM_CHECK_EQ(payload_pos, payload_.size());
 }

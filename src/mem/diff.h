@@ -46,8 +46,8 @@ class Diff {
 
   bool empty() const { return runs_.empty(); }
   std::size_t num_runs() const { return runs_.size(); }
-  std::size_t payload_words() const { return payload_.size(); }
-  std::size_t payload_bytes() const { return payload_.size() * kWordBytes; }
+  std::size_t payload_words() const { return payload_.size() / kWordBytes; }
+  std::size_t payload_bytes() const { return payload_.size(); }
 
   // Wire size: header + per-run descriptors + payload.  Used for message
   // byte accounting and bandwidth timing.
@@ -57,7 +57,9 @@ class Diff {
   }
 
   const std::vector<DiffRun>& runs() const { return runs_; }
-  const std::vector<std::uint32_t>& payload() const { return payload_; }
+  const std::vector<std::byte>& payload() const { return payload_; }
+  // Payload word `i` in run-major order (testing/inspection).
+  std::uint32_t payload_word(std::size_t i) const;
 
   // Enumerate the unit-relative word offsets this diff writes, in order.
   // `fn` is called once per word.
@@ -75,7 +77,10 @@ class Diff {
 
  private:
   std::vector<DiffRun> runs_;
-  std::vector<std::uint32_t> payload_;  // modified words, run by run
+  // Bytes of the modified words, run by run.  Byte storage keeps payload
+  // construction a pure bulk copy (no zero-initializing resize, no
+  // aliasing-unsafe word pointers into the unit images).
+  std::vector<std::byte> payload_;
 };
 
 }  // namespace dsm

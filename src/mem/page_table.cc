@@ -29,7 +29,14 @@ void PageTable::MakeTwin(UnitId unit, std::span<const std::byte> current) {
   DSM_CHECK_EQ(current.size(), unit_bytes_);
   DSM_CHECK(twins_[unit] == nullptr)
       << "unit " << unit << " already twinned";
-  twins_[unit] = std::make_unique<std::byte[]>(unit_bytes_);
+  if (!free_twins_.empty()) {
+    twins_[unit] = std::move(free_twins_.back());
+    free_twins_.pop_back();
+    ++twin_recycles_;
+  } else {
+    // No value-init: the memcpy below overwrites the full buffer.
+    twins_[unit].reset(new std::byte[unit_bytes_]);
+  }
   std::memcpy(twins_[unit].get(), current.data(), unit_bytes_);
 }
 
@@ -43,6 +50,10 @@ std::span<const std::byte> PageTable::twin(UnitId unit) const {
   return {twins_[unit].get(), unit_bytes_};
 }
 
-void PageTable::DropTwin(UnitId unit) { twins_[unit].reset(); }
+void PageTable::DropTwin(UnitId unit) {
+  if (twins_[unit] != nullptr) {
+    free_twins_.push_back(std::move(twins_[unit]));
+  }
+}
 
 }  // namespace dsm

@@ -55,11 +55,18 @@ class PageTable {
 
   // --- twins ---------------------------------------------------------------
   bool HasTwin(UnitId unit) const { return twins_[unit] != nullptr; }
-  // Copy `current` (the unit's working copy) into a fresh twin.
+  // Copy `current` (the unit's working copy) into a twin.  Buffers of
+  // dropped twins are pooled and reused, so steady-state twin/re-twin
+  // churn (every interval re-dirties roughly the same working set) never
+  // goes back to the allocator.
   void MakeTwin(UnitId unit, std::span<const std::byte> current);
   std::span<std::byte> twin(UnitId unit);
   std::span<const std::byte> twin(UnitId unit) const;
   void DropTwin(UnitId unit);
+
+  // How many MakeTwin calls were served from the free list (observability
+  // for the pooling; see tests).
+  std::uint64_t twin_recycles() const { return twin_recycles_; }
 
   // Units currently twinned (i.e., dirty in the open interval), in the
   // order they were first written.  Cleared by the caller after the
@@ -75,7 +82,9 @@ class PageTable {
   std::size_t unit_bytes_;
   std::vector<UnitState> states_;
   std::vector<std::unique_ptr<std::byte[]>> twins_;
+  std::vector<std::unique_ptr<std::byte[]>> free_twins_;  // dropped buffers
   std::vector<UnitId> dirty_units_;
+  std::uint64_t twin_recycles_ = 0;
 };
 
 }  // namespace dsm

@@ -7,7 +7,9 @@
 namespace dsm {
 
 WordTracker::WordTracker(std::size_t num_units, std::size_t words_per_unit)
-    : words_per_unit_(words_per_unit), units_(num_units) {}
+    : words_per_unit_(words_per_unit),
+      units_(num_units),
+      fresh_(num_units, 0) {}
 
 void WordTracker::EnsureUnit(UnitId unit) {
   if (units_[unit] == nullptr) {
@@ -21,7 +23,10 @@ void WordTracker::Deliver(UnitId unit, std::uint32_t word_in_unit,
                           std::uint32_t msg_id) {
   DSM_DCHECK(word_in_unit < words_per_unit_);
   EnsureUnit(unit);
-  units_[unit][word_in_unit] = msg_id + 1;
+  std::uint32_t& tag = units_[unit][word_in_unit];
+  // Redelivery to an already-fresh word re-tags without recounting.
+  fresh_[unit] += (tag == 0);
+  tag = msg_id + 1;
 }
 
 std::uint32_t WordTracker::Tag(UnitId unit, std::uint32_t word_in_unit) const {

@@ -16,7 +16,11 @@
 //
 // Storage is one uint32 per word, allocated lazily per consistency unit, so
 // only units that ever receive diffs pay for tracking.  Value 0 = not
-// fresh; value v>0 = fresh from message id v-1.
+// fresh; value v>0 = fresh from message id v-1.  A per-unit count of live
+// fresh tags makes the hot path O(1) once a unit's deliveries have all
+// been read or overwritten: OnRead/OnWrite on an exhausted unit is a
+// single counter load, and the word loop stops as soon as the last live
+// tag in range dies.
 #pragma once
 
 #include <cstdint>
@@ -36,30 +40,44 @@ class WordTracker {
   void Deliver(UnitId unit, std::uint32_t word_in_unit, std::uint32_t msg_id);
 
   // Local read of `count` consecutive words.  Calls `credit(msg_id)` once
-  // per fresh word consumed.  Hot path: units that never received a diff
-  // take a single null-pointer check.
+  // per fresh word consumed.  Hot path: units with no live fresh tag take
+  // a single counter check (fresh_[unit] > 0 implies tag storage exists).
   template <typename Fn>
   void OnRead(UnitId unit, std::uint32_t word_in_unit, std::uint32_t count,
               Fn&& credit) {
+    std::uint32_t live = fresh_[unit];
+    if (live == 0) return;
     std::uint32_t* tags = units_[unit].get();
-    if (tags == nullptr) return;
     for (std::uint32_t i = 0; i < count; ++i) {
       std::uint32_t& tag = tags[word_in_unit + i];
       if (tag != 0) {
         credit(tag - 1);
         tag = 0;
+        if (--live == 0) break;  // rest of the unit holds no fresh word
       }
     }
+    fresh_[unit] = live;
   }
 
   // Local write of `count` consecutive words: fresh marks die uncredited.
   void OnWrite(UnitId unit, std::uint32_t word_in_unit, std::uint32_t count) {
+    std::uint32_t live = fresh_[unit];
+    if (live == 0) return;
     std::uint32_t* tags = units_[unit].get();
-    if (tags == nullptr) return;
-    for (std::uint32_t i = 0; i < count; ++i) tags[word_in_unit + i] = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::uint32_t& tag = tags[word_in_unit + i];
+      if (tag != 0) {
+        tag = 0;
+        if (--live == 0) break;
+      }
+    }
+    fresh_[unit] = live;
   }
 
   bool HasTracking(UnitId unit) const { return units_[unit] != nullptr; }
+
+  // Live fresh tags in `unit` (0 = the hot paths early-out).
+  std::uint32_t fresh_count(UnitId unit) const { return fresh_[unit]; }
 
   // Testing hook: raw tag for one word (0 = not fresh).
   std::uint32_t Tag(UnitId unit, std::uint32_t word_in_unit) const;
@@ -69,6 +87,7 @@ class WordTracker {
 
   std::size_t words_per_unit_;
   std::vector<std::unique_ptr<std::uint32_t[]>> units_;
+  std::vector<std::uint32_t> fresh_;  // live (non-zero) tags per unit
 };
 
 }  // namespace dsm

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <map>
 #include <vector>
 
 #include "common/rng.h"
@@ -32,7 +33,7 @@ TEST(Diff, SingleWordChange) {
   ASSERT_EQ(d.num_runs(), 1u);
   EXPECT_EQ(d.runs()[0].word_offset, 1u);
   EXPECT_EQ(d.runs()[0].word_count, 1u);
-  EXPECT_EQ(d.payload()[0], 9u);
+  EXPECT_EQ(d.payload_word(0), 9u);
 }
 
 TEST(Diff, AdjacentChangesCoalesceIntoOneRun) {
@@ -116,6 +117,141 @@ TEST(DiffMerge, UnionOfDisjointRuns) {
   EXPECT_EQ(target, v2);
 }
 
+// --- Merge vs. a brute-force word-map oracle -------------------------------
+
+// Word-map view of a diff: offset → value, in apply order.
+std::map<std::uint32_t, std::uint32_t> WordMap(const Diff& d) {
+  std::map<std::uint32_t, std::uint32_t> map;
+  std::size_t p = 0;
+  for (const DiffRun& run : d.runs()) {
+    for (std::uint32_t i = 0; i < run.word_count; ++i) {
+      map[run.word_offset + i] = d.payload_word(p++);
+    }
+  }
+  return map;
+}
+
+// The oracle: absorb older then newer word by word (newer wins), exactly
+// the semantics the O(runs + payload) two-pointer merge must reproduce.
+std::map<std::uint32_t, std::uint32_t> MergeOracle(const Diff& older,
+                                                   const Diff& newer) {
+  std::map<std::uint32_t, std::uint32_t> map = WordMap(older);
+  for (const auto& [offset, value] : WordMap(newer)) map[offset] = value;
+  return map;
+}
+
+// Canonical runs: non-empty, sorted, maximal (a gap of at least one
+// unmodified word between consecutive runs).
+void ExpectCanonicalRuns(const Diff& d, std::size_t words_per_unit) {
+  std::uint32_t prev_end = 0;
+  bool first = true;
+  for (const DiffRun& run : d.runs()) {
+    EXPECT_GT(run.word_count, 0u);
+    if (!first) {
+      EXPECT_GT(run.word_offset, prev_end);
+    }
+    prev_end = run.word_offset + run.word_count;
+    first = false;
+  }
+  EXPECT_LE(prev_end, words_per_unit);
+}
+
+void ExpectMergeMatchesOracle(const Diff& older, const Diff& newer,
+                              std::size_t words_per_unit) {
+  const Diff merged = Diff::Merge(older, newer, words_per_unit);
+  EXPECT_EQ(WordMap(merged), MergeOracle(older, newer));
+  ExpectCanonicalRuns(merged, words_per_unit);
+}
+
+TEST(DiffMerge, EmptyOlder) {
+  auto base = Bytes({0, 0, 0, 0});
+  auto v = Bytes({0, 7, 7, 0});
+  Diff empty = Diff::Create(base, base);
+  Diff d = Diff::Create(base, v);
+  ExpectMergeMatchesOracle(empty, d, 4);
+  const Diff merged = Diff::Merge(empty, d, 4);
+  EXPECT_EQ(merged.payload_words(), 2u);
+}
+
+TEST(DiffMerge, EmptyNewer) {
+  auto base = Bytes({0, 0, 0, 0});
+  auto v = Bytes({3, 0, 0, 3});
+  Diff d = Diff::Create(base, v);
+  Diff empty = Diff::Create(base, base);
+  ExpectMergeMatchesOracle(d, empty, 4);
+  const Diff merged = Diff::Merge(d, empty, 4);
+  EXPECT_EQ(WordMap(merged), WordMap(d));
+}
+
+TEST(DiffMerge, BothEmpty) {
+  auto base = Bytes({1, 2, 3});
+  Diff empty = Diff::Create(base, base);
+  const Diff merged = Diff::Merge(empty, empty, 3);
+  EXPECT_TRUE(merged.empty());
+  EXPECT_EQ(merged.payload_words(), 0u);
+}
+
+TEST(DiffMerge, FullyOverlappingRunsNewerWins) {
+  auto base = Bytes({0, 0, 0, 0, 0, 0});
+  auto v1 = Bytes({0, 1, 1, 1, 0, 0});
+  auto v2 = Bytes({0, 2, 2, 2, 0, 0});
+  Diff older = Diff::Create(base, v1);
+  Diff newer = Diff::Create(base, v2);
+  ExpectMergeMatchesOracle(older, newer, 6);
+  const Diff merged = Diff::Merge(older, newer, 6);
+  ASSERT_EQ(merged.num_runs(), 1u);
+  EXPECT_EQ(merged.payload_words(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(merged.payload_word(i), 2u);
+}
+
+TEST(DiffMerge, PartialOverlapKeepsOlderFringe) {
+  // Older covers [1,4), newer covers [3,6): older survives on [1,3).
+  auto base = Bytes({0, 0, 0, 0, 0, 0, 0});
+  auto v1 = Bytes({0, 1, 1, 1, 0, 0, 0});
+  auto v2 = Bytes({0, 0, 0, 2, 2, 2, 0});
+  Diff older = Diff::Create(base, v1);
+  Diff newer = Diff::Create(base, v2);
+  ExpectMergeMatchesOracle(older, newer, 7);
+  const Diff merged = Diff::Merge(older, newer, 7);
+  ASSERT_EQ(merged.num_runs(), 1u);  // [1,6) coalesces
+  EXPECT_EQ(merged.runs()[0].word_offset, 1u);
+  EXPECT_EQ(merged.runs()[0].word_count, 5u);
+}
+
+TEST(DiffMerge, AdjacentRunsCoalesceIntoOne) {
+  auto base = Bytes({0, 0, 0, 0, 0, 0});
+  auto v1 = Bytes({0, 5, 5, 0, 0, 0});  // run [1,3)
+  auto v2 = Bytes({0, 0, 0, 6, 6, 0});  // run [3,5), adjacent
+  Diff older = Diff::Create(base, v1);
+  Diff newer = Diff::Create(base, v2);
+  ExpectMergeMatchesOracle(older, newer, 6);
+  const Diff merged = Diff::Merge(older, newer, 6);
+  ASSERT_EQ(merged.num_runs(), 1u);
+  EXPECT_EQ(merged.runs()[0].word_offset, 1u);
+  EXPECT_EQ(merged.runs()[0].word_count, 4u);
+}
+
+TEST(DiffMerge, InterleavedDisjointRuns) {
+  auto base = Bytes({0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+  auto v1 = Bytes({1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0});  // runs at 0, 4, 8
+  auto v2 = Bytes({0, 0, 2, 0, 0, 0, 2, 0, 0, 0, 2, 0});  // runs at 2, 6, 10
+  Diff older = Diff::Create(base, v1);
+  Diff newer = Diff::Create(base, v2);
+  ExpectMergeMatchesOracle(older, newer, 12);
+  const Diff merged = Diff::Merge(older, newer, 12);
+  EXPECT_EQ(merged.num_runs(), 6u);
+  EXPECT_EQ(merged.payload_words(), 6u);
+}
+
+TEST(DiffMerge, NewerRunSpanningSeveralOlderRuns) {
+  auto base = Bytes({0, 0, 0, 0, 0, 0, 0, 0});
+  auto v1 = Bytes({1, 1, 0, 1, 0, 1, 1, 0});  // runs [0,2),[3,4),[5,7)
+  auto v2 = Bytes({0, 2, 2, 2, 2, 2, 0, 0});  // one run [1,6) across them
+  Diff older = Diff::Create(base, v1);
+  Diff newer = Diff::Create(base, v2);
+  ExpectMergeMatchesOracle(older, newer, 8);
+}
+
 // --- property tests --------------------------------------------------------
 
 class DiffPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
@@ -171,6 +307,24 @@ TEST_P(DiffPropertyTest, MergeEquivalentToSequentialApply) {
   EXPECT_EQ(sequential, merged_target);
   // The merged payload never exceeds the sum of the parts.
   EXPECT_LE(merged.payload_words(), d1.payload_words() + d2.payload_words());
+}
+
+// Merge against the word-map oracle on independent random overlap
+// patterns (not chained versions: arbitrary partial overlaps, adjacency,
+// and containment all occur).
+TEST_P(DiffPropertyTest, MergeMatchesWordMapOracle) {
+  Xoshiro256 rng(GetParam() ^ 0xabcd);
+  const std::size_t words = 32 + rng.UniformInt(512);
+  std::vector<std::uint32_t> v0(words), v1(words), v2(words);
+  for (std::size_t i = 0; i < words; ++i) {
+    v0[i] = static_cast<std::uint32_t>(rng.Next());
+    v1[i] = rng.UniformDouble() < 0.3 ? v0[i] + 1 : v0[i];
+    v2[i] = rng.UniformDouble() < 0.3 ? v0[i] + 2 : v0[i];
+  }
+  auto b0 = Bytes(v0), b1 = Bytes(v1), b2 = Bytes(v2);
+  Diff older = Diff::Create(b0, b1);
+  Diff newer = Diff::Create(b0, b2);
+  ExpectMergeMatchesOracle(older, newer, words);
 }
 
 // Runs are canonical: sorted, non-overlapping, maximal.

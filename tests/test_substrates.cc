@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <thread>
+#include <vector>
 
 #include "common/check.h"
 #include "common/histogram.h"
@@ -214,6 +215,33 @@ TEST(PageTable, StateTransitionsAndTwins) {
   EXPECT_TRUE(table.NeedsFaultOnWrite(3));
 }
 
+TEST(PageTable, TwinPoolRecyclesDroppedBuffers) {
+  PageTable table(4, 4096);
+  std::vector<std::byte> a(4096, std::byte{0x11});
+  std::vector<std::byte> b(4096, std::byte{0x22});
+
+  // First twin comes from the allocator.
+  table.MakeTwin(0, a);
+  EXPECT_EQ(table.twin_recycles(), 0u);
+
+  // A drop/re-twin cycle is served from the free list...
+  table.DropTwin(0);
+  table.MakeTwin(1, b);
+  EXPECT_EQ(table.twin_recycles(), 1u);
+  // ...and carries the new contents, not the dropped twin's.
+  EXPECT_EQ(table.twin(1)[0], std::byte{0x22});
+
+  // Same unit re-twinned after a drop also recycles.
+  table.DropTwin(1);
+  table.MakeTwin(1, a);
+  EXPECT_EQ(table.twin_recycles(), 2u);
+  EXPECT_EQ(table.twin(1)[0], std::byte{0x11});
+
+  // Two live twins need one fresh allocation beyond the pooled buffer.
+  table.MakeTwin(2, b);
+  EXPECT_EQ(table.twin_recycles(), 2u);
+}
+
 TEST(WordTracker, CreditOnFirstReadOnly) {
   WordTracker tracker(2, 1024);
   tracker.Deliver(0, 5, /*msg_id=*/3);
@@ -259,6 +287,65 @@ TEST(WordTracker, RangeReadCreditsEachFreshWord) {
   int credits = 0;
   tracker.OnRead(0, 0, 8, [&](std::uint32_t) { ++credits; });
   EXPECT_EQ(credits, 3);
+}
+
+// --- fresh-count bookkeeping (the OnRead/OnWrite early-out) -----------------
+
+TEST(WordTracker, FreshCountReachesZeroAfterCreditsAndOverwrites) {
+  WordTracker tracker(2, 64);
+  EXPECT_EQ(tracker.fresh_count(0), 0u);
+  tracker.Deliver(0, 1, 0);
+  tracker.Deliver(0, 5, 0);
+  tracker.Deliver(0, 9, 1);
+  EXPECT_EQ(tracker.fresh_count(0), 3u);
+
+  tracker.OnWrite(0, 5, 1);  // one mark dies uncredited
+  EXPECT_EQ(tracker.fresh_count(0), 2u);
+
+  int credits = 0;
+  tracker.OnRead(0, 0, 16, [&](std::uint32_t) { ++credits; });
+  EXPECT_EQ(credits, 2);
+  EXPECT_EQ(tracker.fresh_count(0), 0u);
+}
+
+TEST(WordTracker, ExhaustedUnitTakesEarlyOutWithoutCredits) {
+  WordTracker tracker(1, 64);
+  tracker.Deliver(0, 3, 7);
+  tracker.OnWrite(0, 0, 64);
+  ASSERT_EQ(tracker.fresh_count(0), 0u);
+
+  // The unit still has tag storage (HasTracking), but with no live fresh
+  // tag both hot paths return before touching it.
+  EXPECT_TRUE(tracker.HasTracking(0));
+  int credits = 0;
+  tracker.OnRead(0, 0, 64, [&](std::uint32_t) { ++credits; });
+  EXPECT_EQ(credits, 0);
+  tracker.OnWrite(0, 0, 64);  // must also be a no-op
+  EXPECT_EQ(tracker.fresh_count(0), 0u);
+}
+
+TEST(WordTracker, RedeliveryToFreshWordDoesNotDoubleCount) {
+  WordTracker tracker(1, 64);
+  tracker.Deliver(0, 4, 1);
+  tracker.Deliver(0, 4, 2);  // re-tag, not a second fresh word
+  EXPECT_EQ(tracker.fresh_count(0), 1u);
+
+  std::vector<std::uint32_t> credits;
+  tracker.OnRead(0, 0, 64, [&](std::uint32_t m) { credits.push_back(m); });
+  EXPECT_EQ(credits, (std::vector<std::uint32_t>{2}));
+  EXPECT_EQ(tracker.fresh_count(0), 0u);
+}
+
+TEST(WordTracker, ReadStopsAtLastLiveTagButStaysExact) {
+  // The early-break when the count hits zero must not skip credits: two
+  // fresh words read in one range call both credit.
+  WordTracker tracker(1, 64);
+  tracker.Deliver(0, 0, 3);
+  tracker.Deliver(0, 63, 4);
+  std::vector<std::uint32_t> credits;
+  tracker.OnRead(0, 0, 64, [&](std::uint32_t m) { credits.push_back(m); });
+  EXPECT_EQ(credits, (std::vector<std::uint32_t>{3, 4}));
+  EXPECT_EQ(tracker.fresh_count(0), 0u);
 }
 
 // --- core primitives ----------------------------------------------------------
