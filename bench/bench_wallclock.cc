@@ -111,13 +111,16 @@ struct Row {
   double modelled_ms = 0;
   double result = 0;
   std::uint64_t fingerprint = 0;
+  MemoryFootprint mem;
 };
 
-Row RunCell(const BenchScenario& s, const ModePoint& mode, int num_procs) {
+Row RunCell(const BenchScenario& s, const ModePoint& mode, int num_procs,
+            int gc_interval) {
   RuntimeConfig cfg;
   cfg.num_procs = num_procs;
   cfg.aggregation = mode.mode;
   cfg.pages_per_unit = mode.pages_per_unit;
+  cfg.gc_interval_barriers = gc_interval;
 
   auto app = apps::MakeApp(s.app, s.dataset);
   const auto t0 = std::chrono::steady_clock::now();
@@ -134,6 +137,7 @@ Row RunCell(const BenchScenario& s, const ModePoint& mode, int num_procs) {
   row.modelled_ms = run.stats.exec_seconds() * 1e3;
   row.result = run.result;
   row.fingerprint = ModelledFingerprint(run.result, run.stats);
+  row.mem = run.stats.mem;
   return row;
 }
 
@@ -146,16 +150,24 @@ void WriteJson(const std::vector<Row>& rows, const std::string& path) {
   std::fprintf(f, "{\n  \"rows\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
-    std::fprintf(f,
-                 "    {\"app\": \"%s\", \"dataset\": \"%s\", \"mode\": "
-                 "\"%s\", \"stable\": %s, \"wall_ms\": %.3f, "
-                 "\"modelled_ms\": %.6f, \"result\": %.17g, "
-                 "\"fingerprint\": \"%016llx\"}%s\n",
-                 r.app.c_str(), r.dataset.c_str(), r.mode.c_str(),
-                 r.stable ? "true" : "false", r.wall_ms, r.modelled_ms,
-                 r.result,
-                 static_cast<unsigned long long>(r.fingerprint),
-                 i + 1 < rows.size() ? "," : "");
+    std::fprintf(
+        f,
+        "    {\"app\": \"%s\", \"dataset\": \"%s\", \"mode\": "
+        "\"%s\", \"stable\": %s, \"wall_ms\": %.3f, "
+        "\"modelled_ms\": %.6f, \"result\": %.17g, "
+        "\"fingerprint\": \"%016llx\", "
+        "\"peak_live_intervals\": %llu, \"peak_archive_bytes\": %llu, "
+        "\"reclaimed_intervals\": %llu, \"canonical_base_bytes\": %llu, "
+        "\"gc_passes\": %llu}%s\n",
+        r.app.c_str(), r.dataset.c_str(), r.mode.c_str(),
+        r.stable ? "true" : "false", r.wall_ms, r.modelled_ms, r.result,
+        static_cast<unsigned long long>(r.fingerprint),
+        static_cast<unsigned long long>(r.mem.peak_live_intervals),
+        static_cast<unsigned long long>(r.mem.peak_archive_bytes),
+        static_cast<unsigned long long>(r.mem.reclaimed_intervals),
+        static_cast<unsigned long long>(r.mem.canonical_base_peak_bytes),
+        static_cast<unsigned long long>(r.mem.gc_passes),
+        i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -173,27 +185,62 @@ int main(int argc, char** argv) {
   std::string out = "BENCH_wallclock.json";
 #endif
   int num_procs = 8;
+  int gc_interval = dsm::RuntimeConfig{}.gc_interval_barriers;
+  std::string app_filter, mode_filter;
+  bool explicit_out = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--out=", 6) == 0) out = argv[i] + 6;
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out = argv[i] + 6;
+      explicit_out = true;
+    }
     if (std::strncmp(argv[i], "--procs=", 8) == 0) {
       num_procs = std::atoi(argv[i] + 8);
     }
+    if (std::strncmp(argv[i], "--gc=", 5) == 0) {
+      gc_interval = std::atoi(argv[i] + 5);
+    }
+    // Row filters for local iteration (case-sensitive substring match, so
+    // the full 24-row sweep is not the only way to time one app):
+    //   --app=MGS --mode=16K
+    if (std::strncmp(argv[i], "--app=", 6) == 0) app_filter = argv[i] + 6;
+    if (std::strncmp(argv[i], "--mode=", 7) == 0) mode_filter = argv[i] + 7;
   }
+  auto matches = [](const std::string& filter, const char* value) {
+    return filter.empty() || std::string(value).find(filter) !=
+                                 std::string::npos;
+  };
 
   std::vector<Row> rows;
-  std::printf("%-8s %-10s %-4s %10s %14s  %-16s %s\n", "app", "dataset",
-              "cfg", "wall(ms)", "modelled(ms)", "fingerprint", "stable");
+  std::printf("%-8s %-10s %-4s %10s %14s  %-16s %-6s %12s %14s\n", "app",
+              "dataset", "cfg", "wall(ms)", "modelled(ms)", "fingerprint",
+              "stable", "peak_ivals", "peak_arch_KB");
   for (const BenchScenario& s : kScenarios) {
+    if (!matches(app_filter, s.app)) continue;
     for (const ModePoint& mode : kModes) {
-      Row row = RunCell(s, mode, num_procs);
-      std::printf("%-8s %-10s %-4s %10.1f %14.3f  %016llx %s\n",
+      if (!matches(mode_filter, mode.label)) continue;
+      Row row = RunCell(s, mode, num_procs, gc_interval);
+      std::printf("%-8s %-10s %-4s %10.1f %14.3f  %016llx %-6s %12llu %14llu\n",
                   row.app.c_str(), row.dataset.c_str(), row.mode.c_str(),
                   row.wall_ms, row.modelled_ms,
                   static_cast<unsigned long long>(row.fingerprint),
-                  row.stable ? "yes" : "no");
+                  row.stable ? "yes" : "no",
+                  static_cast<unsigned long long>(
+                      row.mem.peak_live_intervals),
+                  static_cast<unsigned long long>(
+                      row.mem.peak_archive_bytes / 1024));
       rows.push_back(std::move(row));
     }
   }
-  WriteJson(rows, out);
+  // A filtered (or non-default-GC) run is a partial sweep: never let it
+  // silently clobber the tracked full-sweep baseline at the default path.
+  const bool partial = !app_filter.empty() || !mode_filter.empty() ||
+                       gc_interval !=
+                           dsm::RuntimeConfig{}.gc_interval_barriers;
+  if (partial && !explicit_out) {
+    std::printf("partial sweep: not writing %s (pass --out= to force)\n",
+                out.c_str());
+  } else {
+    WriteJson(rows, out);
+  }
   return 0;
 }

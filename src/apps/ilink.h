@@ -1,6 +1,6 @@
 // Ilink (paper §5.5): genetic linkage analysis.  We do not have the
 // proprietary CLP pedigree inputs, so this is a synthetic workload with
-// exactly the sharing pattern the paper describes (see DESIGN.md §2):
+// exactly the sharing pattern the paper describes (see DESIGN.md §5):
 //
 //   * a pool of sparse "genarrays" in shared memory;
 //   * the master assigns non-zero elements to processors round-robin, so

@@ -44,6 +44,23 @@ struct RuntimeConfig {
   // in modelled time; can be disabled for raw-speed host runs.
   bool track_usage = true;
 
+  // Archive garbage collection (DESIGN.md §6): every N-th global barrier,
+  // flatten all intervals dominated by the flatten target (below) into
+  // canonical base images and reclaim the records.  Purely a host-side
+  // optimization — modelled times, statistics, and results are
+  // bit-identical for any setting.  0 disables GC (the archive-everything
+  // behavior, kept reachable for A/B testing).
+  int gc_interval_barriers = 1;
+
+  // Flatten target age: collect only intervals dominated by the global
+  // vector clock from this many barriers ago (minimum 1 — the youngest
+  // clock every node is guaranteed to have fully processed).  Most
+  // pending notices are consumed within a barrier or two of arriving;
+  // lagging the target lets them die in the fault path for free and
+  // reserves the flattening work for genuinely cold chains, whose length
+  // stays bounded by interval × lag barriers either way.
+  int gc_lag_barriers = 2;
+
   // Number of DSM lock ids available to the application.
   int num_locks = 4096;
 

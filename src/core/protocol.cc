@@ -37,7 +37,10 @@ SharedState::SharedState(const RuntimeConfig& cfg)
   archives.reserve(cfg.num_procs);
   for (int p = 0; p < cfg.num_procs; ++p) {
     archives.push_back(std::make_unique<IntervalArchive>());
+    archives.back()->set_telemetry(&archive_telemetry);
   }
+  canonical =
+      std::make_unique<CanonicalStore>(heap.num_units(), heap.unit_bytes());
 }
 
 Node::Node(ProcId id, SharedState& shared)
@@ -56,6 +59,7 @@ Node::Node(ProcId id, SharedState& shared)
       table_(shared.heap.num_units(), unit_bytes_),
       tracker_(shared.heap.num_units(), unit_bytes_ / kWordBytes),
       pending_(shared.heap.num_units()),
+      flattened_(shared.heap.num_units()),
       retwin_cheap_(shared.heap.num_units(), 0),
       diff_requested_(shared.heap.num_units()),
       diff_request_seen_(shared.heap.num_units(), 0),
@@ -171,7 +175,7 @@ void Node::ValidateUnit(UnitId unit) {
     return;
   }
 
-  DSM_CHECK(!pending_[unit].empty())
+  DSM_CHECK(!pending_[unit].empty() || !flattened_[unit].empty())
       << "invalid unit " << unit << " with no pending write notices";
 
   retwin_cheap_[unit] = 0;
@@ -182,7 +186,7 @@ void Node::ValidateUnit(UnitId unit) {
     for (UnitId member : aggregator_.GroupOf(unit)) {
       if (member == unit) continue;
       if (table_.state(member) == UnitState::kInvalid &&
-          !pending_[member].empty()) {
+          (!pending_[member].empty() || !flattened_[member].empty())) {
         fetch.push_back(member);
       }
     }
@@ -215,11 +219,19 @@ void Node::FetchUnits(const std::vector<UnitId>& units) {
   // server-side answer to TreadMarks' diff accumulation problem; without
   // it, a page repeatedly rewritten by one processor ships its entire
   // modification history on first fetch).
+  //
+  // Intervals reclaimed by archive GC arrive pre-coalesced as
+  // FlattenedChains — the exact chains this loop would have built, frozen
+  // at GC time with live records from later epochs still absorbable into
+  // the last chain of each writer (every live record happened-after every
+  // reclaimed one, so the absorption check degenerates to the foreign
+  // live records plus the chain's `blocked` flag).
   for (auto& v : needs_by_writer_) v.clear();
   std::deque<Diff>& merged_storage = merged_scratch_;
   merged_storage.clear();
+  absorbed_scratch_.clear();
   for (UnitId unit : units) {
-    // Resolve all pending notices of this unit first (needed for the
+    // Resolve all live pending notices of this unit first (needed for the
     // foreign-interval ordering checks).
     std::vector<ResolvedDiff>& all = resolved_scratch_;
     all.clear();
@@ -235,64 +247,134 @@ void Node::FetchUnits(const std::vector<UnitId>& units) {
       all.push_back({rec, &rec->diffs[static_cast<std::size_t>(di)],
                      rec->PaysForDiff(di, sync_phase_)});
     }
+    std::vector<FlattenedChain>& flat = flattened_[unit];
     for (ProcId w = 0; w < nprocs; ++w) {
       // This writer's intervals, in increasing seq order (pending notices
-      // arrive in acquire order, which respects per-writer seq order).
+      // arrive in acquire order, which respects per-writer seq order);
+      // flattened chains always precede live records.
       std::vector<const ResolvedDiff*>& chain_input = chain_scratch_;
       chain_input.clear();
       for (const ResolvedDiff& r : all) {
         if (r.rec->proc == w) chain_input.push_back(&r);
       }
-      if (chain_input.empty()) continue;
+      FlattenedChain* open_flat = nullptr;  // last flattened chain of w
+      for (FlattenedChain& c : flat) {
+        if (c.writer == w) open_flat = &c;
+      }
+      if (open_flat == nullptr && chain_input.empty()) continue;
 
       // One server-side twin scan per (writer, unit) with any interval
       // this requester pays to materialize; everything materialized in an
-      // earlier phase is served from the writer's diff cache.
+      // earlier phase is served from the writer's diff cache.  Reclaimed
+      // intervals keep their first-requester stamps alive in the chains.
       bool needs_scan = false;
+      for (FlattenedChain& c : flat) {
+        if (c.writer != w) continue;
+        for (const StampRef& s : c.stamps) {
+          if (IntervalRecord::PaysForStamp(s.stamps[s.index], sync_phase_)) {
+            needs_scan = true;
+          }
+        }
+      }
       for (const ResolvedDiff* r : chain_input) {
         if (r->pays_for_scan) needs_scan = true;
       }
+      shared_.nodes[w]->diff_requested_[unit].store(
+          1, std::memory_order_relaxed);
+
+      auto push_need = [&](NeedEntry e) {
+        e.unit = unit;
+        e.writer = w;
+        e.needs_scan = needs_scan;
+        needs_scan = false;  // at most one scan per (writer, unit)
+        needs_by_writer_[w].push_back(e);
+      };
+      // Emit every flattened chain of w but the last; the last may still
+      // absorb live records into its tail.
+      for (FlattenedChain& c : flat) {
+        if (c.writer != w || &c == open_flat) continue;
+        NeedEntry e{};
+        e.last_seq = c.last_seq;
+        e.last_vc = &c.last_vc;
+        e.flat = &c;
+        push_need(e);
+      }
+      std::uint32_t absorbed_begin =
+          static_cast<std::uint32_t>(absorbed_scratch_.size());
+      auto flush_flat = [&] {
+        NeedEntry e{};
+        e.last_seq = open_flat->last_seq;
+        e.last_vc = &open_flat->last_vc;
+        e.flat = open_flat;
+        e.absorbed_begin = absorbed_begin;
+        e.absorbed_count =
+            static_cast<std::uint32_t>(absorbed_scratch_.size()) -
+            absorbed_begin;
+        push_need(e);
+        open_flat = nullptr;
+      };
+
+      // May we absorb r into a chain whose head is (w, first_seq)?  Every
+      // foreign interval must be either not-after the head or after the
+      // candidate tail.  (Foreign reclaimed intervals ordered after a
+      // flattened head are recorded in its `blocked` flag; they can never
+      // be after a live tail.)
+      auto may_absorb = [&](Seq first_seq, const IntervalRecord& r) {
+        for (const ResolvedDiff& q : all) {
+          if (q.rec->proc == w) continue;
+          if (q.rec->vc.Covers(w, first_seq) &&
+              !r.HappenedBefore(*q.rec)) {
+            return false;
+          }
+        }
+        return true;
+      };
+
       const IntervalRecord* chain_first = nullptr;
       const Diff* chain_diff = nullptr;
       const IntervalRecord* chain_last = nullptr;
-      auto flush = [&] {
-        needs_by_writer_[w].push_back(
-            {unit, chain_last, chain_diff, 0, needs_scan});
-        needs_scan = false;  // at most one scan per (writer, unit)
+      auto flush_live = [&] {
+        NeedEntry e{};
+        e.last_seq = chain_last->seq;
+        e.last_vc = &chain_last->vc;
+        e.diff = chain_diff;
+        push_need(e);
+        chain_diff = nullptr;
       };
-      shared_.nodes[w]->diff_requested_[unit].store(
-          1, std::memory_order_relaxed);
       for (const ResolvedDiff* r : chain_input) {
+        if (open_flat != nullptr) {
+          if (!open_flat->blocked &&
+              may_absorb(open_flat->first_seq, *r->rec)) {
+            open_flat->runs =
+                Diff::MergeRuns(open_flat->runs, r->diff->runs());
+            open_flat->payload_words = Diff::RunWords(open_flat->runs);
+            open_flat->last_seq = r->rec->seq;
+            open_flat->last_vc = r->rec->vc;
+            absorbed_scratch_.push_back(r->diff);
+            continue;
+          }
+          flush_flat();
+        }
         if (chain_diff == nullptr) {
           chain_first = r->rec;
           chain_last = r->rec;
           chain_diff = r->diff;
           continue;
         }
-        // May we absorb r into the chain?  Every foreign interval must be
-        // either not-after the head or after the candidate tail.
-        bool safe = true;
-        for (const ResolvedDiff& q : all) {
-          if (q.rec->proc == w) continue;
-          if (chain_first->HappenedBefore(*q.rec) &&
-              !r->rec->HappenedBefore(*q.rec)) {
-            safe = false;
-            break;
-          }
-        }
-        if (safe) {
+        if (may_absorb(chain_first->seq, *r->rec)) {
           merged_storage.push_back(
               Diff::Merge(*chain_diff, *r->diff, words_per_unit));
           chain_diff = &merged_storage.back();
           chain_last = r->rec;
         } else {
-          flush();
+          flush_live();
           chain_first = r->rec;
           chain_last = r->rec;
           chain_diff = r->diff;
         }
       }
-      flush();
+      if (open_flat != nullptr) flush_flat();
+      if (chain_diff != nullptr) flush_live();
     }
   }
 
@@ -317,8 +399,8 @@ void Node::FetchUnits(const std::vector<UnitId>& units) {
         request_bytes += 8;  // unit id + timestamp bound per unit requested
         last_unit_in_req = need.unit;
       }
-      response_bytes += need.diff->EncodedBytes();
-      delivered_words += static_cast<std::uint32_t>(need.diff->payload_words());
+      response_bytes += need.EncodedBytes();
+      delivered_words += static_cast<std::uint32_t>(need.PayloadWords());
     }
     comm_stats_.AddDelivered(
         ex, delivered_words,
@@ -358,7 +440,8 @@ void Node::FetchUnits(const std::vector<UnitId>& units) {
       for (std::size_t i = done; i < for_unit.size(); ++i) {
         bool has_predecessor = false;
         for (std::size_t j = done; j < for_unit.size(); ++j) {
-          if (i != j && for_unit[j].rec->HappenedBefore(*for_unit[i].rec)) {
+          if (i != j && for_unit[i].last_vc->Covers(for_unit[j].writer,
+                                                    for_unit[j].last_seq)) {
             has_predecessor = true;
             break;
           }
@@ -371,19 +454,52 @@ void Node::FetchUnits(const std::vector<UnitId>& units) {
       std::swap(for_unit[done], for_unit[pick]);
 
       const NeedEntry& need = for_unit[done];
-      need.diff->Apply(UnitSpan(unit));
-      if (table_.HasTwin(unit)) need.diff->Apply(table_.twin(unit));
-      if (track) {
-        need.diff->ForEachWord([&](std::uint32_t word) {
-          tracker_.Deliver(unit, word, need.exchange_id);
-        });
+      const bool twinned = table_.HasTwin(unit);
+      if (need.flat != nullptr) {
+        // Reclaimed chain: its words live in the canonical base.  Copy
+        // the chain's runs from the base, then lay any live diffs
+        // absorbed into the tail on top (they are newer than everything
+        // reclaimed, so they win exactly as in the merged-diff path).
+        std::span<const std::byte> base = shared_.canonical->base(unit);
+        std::span<std::byte> dst = UnitSpan(unit);
+        for (const DiffRun& run : need.flat->runs) {
+          const std::size_t off =
+              std::size_t{run.word_offset} * kWordBytes;
+          const std::size_t len = std::size_t{run.word_count} * kWordBytes;
+          std::memcpy(dst.data() + off, base.data() + off, len);
+          if (twinned) {
+            std::memcpy(table_.twin(unit).data() + off, base.data() + off,
+                        len);
+          }
+        }
+        for (std::uint32_t a = 0; a < need.absorbed_count; ++a) {
+          const Diff* d = absorbed_scratch_[need.absorbed_begin + a];
+          d->Apply(dst);
+          if (twinned) d->Apply(table_.twin(unit));
+        }
+        if (track) {
+          for (const DiffRun& run : need.flat->runs) {
+            for (std::uint32_t i = 0; i < run.word_count; ++i) {
+              tracker_.Deliver(unit, run.word_offset + i, need.exchange_id);
+            }
+          }
+        }
+      } else {
+        need.diff->Apply(UnitSpan(unit));
+        if (twinned) need.diff->Apply(table_.twin(unit));
+        if (track) {
+          need.diff->ForEachWord([&](std::uint32_t word) {
+            tracker_.Deliver(unit, word, need.exchange_id);
+          });
+        }
       }
+      const std::size_t payload_bytes = need.PayloadWords() * kWordBytes;
       comm_stats_.counters().diffs_applied += 1;
-      comm_stats_.counters().delivered_data_bytes +=
-          need.diff->payload_bytes();
-      clock_.Advance(cost.DiffApplyCost(need.diff->payload_bytes()));
+      comm_stats_.counters().delivered_data_bytes += payload_bytes;
+      clock_.Advance(cost.DiffApplyCost(payload_bytes));
     }
     pending_[unit].clear();
+    flattened_[unit].clear();
   }
 }
 
@@ -417,6 +533,186 @@ void Node::CloseInterval() {
   rec.vc = vc_;
   table_.ClearDirtyList();
   shared_.archives[id_]->Append(std::move(rec));
+}
+
+void Node::RunArchiveGc(SharedState& shared, const VectorClock& through) {
+  const int nprocs = shared.config.num_procs;
+  const std::size_t num_units = shared.heap.num_units();
+
+  // Every interval with seq <= through[proc] is dominated: it closed
+  // before the previous barrier completed, so every node has merged its
+  // notice (the interval is pending or applied everywhere) and no new
+  // reference to it can ever be created.
+  bool any = false;
+  for (ProcId p = 0; p < nprocs; ++p) {
+    const Seq oldest = shared.archives[p]->min_retained_seq();
+    if (oldest != 0 && oldest <= through[p]) any = true;
+  }
+  if (!any) return;
+
+  // Pass 1: convert every node's dominated pending notices into
+  // FlattenedChains, mirroring the fault path's chain coalescing exactly
+  // (same absorption predicate over the same record set — live records
+  // from later epochs can never block a dominated absorption, because
+  // they happened-after every dominated interval).  Collect the (record,
+  // diff) pairs some node still needed: only those must go into the
+  // canonical base — an interval pending nowhere was already applied by
+  // every node, and any word of it that a future chain covers is
+  // rewritten there by a newer record of that chain.
+  struct Resolved {
+    const IntervalRecord* rec;
+    int di;
+  };
+  std::vector<std::vector<Resolved>> referenced(num_units);
+  std::vector<PendingInterval> live;
+  std::vector<Resolved> dom;
+  // Per-writer sorted foreign clock entries of the current batch (see the
+  // absorption predicate below).
+  std::vector<std::vector<Seq>> foreign_vcw(nprocs);
+  for (ProcId x = 0; x < nprocs; ++x) {
+    Node& node = *shared.nodes[x];
+    for (UnitId u = 0; u < num_units; ++u) {
+      std::vector<PendingInterval>& pend = node.pending_[u];
+      if (pend.empty()) continue;
+      live.clear();
+      dom.clear();
+      for (const PendingInterval& pi : pend) {
+        if (pi.seq > through[pi.proc]) {
+          live.push_back(pi);
+          continue;
+        }
+        const IntervalRecord* rec = shared.archives[pi.proc]->Find(pi.seq);
+        DSM_CHECK(rec != nullptr)
+            << "GC: missing interval (" << pi.proc << "," << pi.seq << ")";
+        const int di = rec->IndexOf(u);
+        DSM_CHECK_GE(di, 0);
+        dom.push_back({rec, di});
+      }
+      if (dom.empty()) continue;
+      pend.assign(live.begin(), live.end());
+      for (const Resolved& r : dom) referenced[u].push_back(r);
+
+      // The fault path's absorption predicate — "no foreign interval q
+      // with chain_first happened-before q but not candidate-tail
+      // happened-before q" — only reads q.vc[w] for a chain of writer w:
+      // it fails exactly when some foreign q has first_seq <= q.vc[w] <
+      // tail_seq.  Batches from lock-heavy programs can hold hundreds of
+      // records per unit, so evaluate it by binary search over the
+      // sorted foreign clock entries instead of rescanning the batch.
+      for (ProcId w = 0; w < nprocs; ++w) foreign_vcw[w].clear();
+      for (const Resolved& q : dom) {
+        for (ProcId w = 0; w < nprocs; ++w) {
+          if (q.rec->proc != w) foreign_vcw[w].push_back(q.rec->vc[w]);
+        }
+      }
+      for (ProcId w = 0; w < nprocs; ++w) {
+        std::sort(foreign_vcw[w].begin(), foreign_vcw[w].end());
+      }
+      auto may_absorb = [&](ProcId w, Seq first_seq, Seq tail_seq) {
+        const std::vector<Seq>& v = foreign_vcw[w];
+        auto it = std::lower_bound(v.begin(), v.end(), first_seq);
+        return it == v.end() || *it >= tail_seq;
+      };
+
+      std::vector<FlattenedChain>& flat = node.flattened_[u];
+      for (ProcId w = 0; w < nprocs; ++w) {
+        // Only the last existing chain of writer w may be extended.
+        std::size_t open = flat.size();
+        for (std::size_t i = 0; i < flat.size(); ++i) {
+          if (flat[i].writer == w) open = i;
+        }
+        for (const Resolved& r : dom) {
+          if (r.rec->proc != w) continue;
+          const Diff& diff = r.rec->diffs[static_cast<std::size_t>(r.di)];
+          StampRef stamp{r.rec->diffed,
+                         static_cast<std::uint32_t>(r.di)};
+          if (open != flat.size() && !flat[open].blocked &&
+              may_absorb(w, flat[open].first_seq, r.rec->seq)) {
+            FlattenedChain& c = flat[open];
+            c.runs = Diff::MergeRuns(c.runs, diff.runs());
+            c.payload_words = Diff::RunWords(c.runs);
+            c.last_seq = r.rec->seq;
+            c.last_vc = r.rec->vc;
+            c.stamps.push_back(std::move(stamp));
+          } else {
+            FlattenedChain c;
+            c.writer = w;
+            c.first_seq = r.rec->seq;
+            c.last_seq = r.rec->seq;
+            c.last_vc = r.rec->vc;
+            c.runs = diff.runs();
+            c.payload_words = Diff::RunWords(c.runs);
+            c.stamps.push_back(std::move(stamp));
+            flat.push_back(std::move(c));
+            open = flat.size() - 1;
+          }
+        }
+      }
+      // A foreign reclaimed interval ordered after a chain's head means
+      // no later interval may ever be absorbed into the chain (the fault
+      // path would re-check this against the record, which is about to be
+      // reclaimed — freeze the verdict in the flag).
+      for (FlattenedChain& c : flat) {
+        if (c.blocked) continue;
+        const std::vector<Seq>& v = foreign_vcw[c.writer];
+        if (!v.empty() && v.back() >= c.first_seq) c.blocked = true;
+      }
+    }
+  }
+
+  // Pass 2: flatten the referenced diffs into the canonical base, per
+  // unit in happens-before order, so ordered overwrites land newest-last.
+  // Clock sums give a cheap deterministic linear extension: r
+  // happened-before q implies q.vc >= r.vc pointwise (covering a seq
+  // means the covering clock was merged from the closing writer's clock),
+  // strictly so in q's own component, hence sum(r.vc) < sum(q.vc).
+  // Concurrent records tie-break by (proc, seq); race-free programs write
+  // disjoint words in concurrent intervals, so the tie-break is
+  // unobservable there.
+  for (UnitId u = 0; u < num_units; ++u) {
+    std::vector<Resolved>& refs = referenced[u];
+    if (refs.empty()) continue;
+    auto vc_sum = [](const IntervalRecord& r) {
+      std::uint64_t sum = 0;
+      for (int p = 0; p < r.vc.size(); ++p) sum += r.vc[p];
+      return sum;
+    };
+    std::sort(refs.begin(), refs.end(),
+              [&](const Resolved& a, const Resolved& b) {
+                const std::uint64_t sa = vc_sum(*a.rec);
+                const std::uint64_t sb = vc_sum(*b.rec);
+                if (sa != sb) return sa < sb;
+                return a.rec->proc != b.rec->proc
+                           ? a.rec->proc < b.rec->proc
+                           : a.rec->seq < b.rec->seq;
+              });
+    refs.erase(std::unique(refs.begin(), refs.end(),
+                           [](const Resolved& a, const Resolved& b) {
+                             return a.rec == b.rec;
+                           }),
+               refs.end());
+    std::span<std::byte> base = shared.canonical->Ensure(u);
+    for (const Resolved& r : refs) {
+      r.rec->diffs[static_cast<std::size_t>(r.di)].Apply(base);
+    }
+  }
+
+  // Pass 3: reclaim the dominated archive prefixes (FlattenedChains keep
+  // the lazy-diffing stamp arrays of their member records alive), then
+  // drop canonical bases no chain references any more (pooled, like
+  // twins — see CanonicalStore).
+  for (ProcId p = 0; p < nprocs; ++p) {
+    shared.archives[p]->PruneThrough(through[p]);
+  }
+  for (UnitId u = 0; u < num_units; ++u) {
+    if (!shared.canonical->Has(u)) continue;
+    bool needed = false;
+    for (ProcId x = 0; x < nprocs && !needed; ++x) {
+      needed = !shared.nodes[x]->flattened_[u].empty();
+    }
+    if (!needed) shared.canonical->Release(u);
+  }
+  ++shared.gc_passes;
 }
 
 void Node::CollectNotices(const VectorClock& target,
@@ -494,6 +790,27 @@ void Node::Barrier() {
       diff_requested_[u].store(0, std::memory_order_relaxed);
       diff_request_seen_[u] = 1;
     }
+  }
+  // Archive GC rides the same idle window (DESIGN.md §6): proc 0 flattens
+  // everything dominated by the PREVIOUS barrier's global clock — which
+  // every node fully processed before arriving here — while the others
+  // drain their own flags or wait at the rendezvous.  GC touches pending
+  // notices, archives, and the canonical base; the drain loop touches only
+  // each node's own request flags, so the two never conflict.  The
+  // rendezvous below then keeps any node from issuing new requests (or
+  // faults) before the collection finished, making the pass deterministic.
+  if (id_ == 0 && shared_.config.gc_interval_barriers > 0) {
+    const auto lag = static_cast<std::size_t>(
+        std::max(1, shared_.config.gc_lag_barriers));
+    if (shared_.gc_history.size() >= lag &&
+        (sync_phase_ + 1) %
+                static_cast<std::uint32_t>(
+                    shared_.config.gc_interval_barriers) ==
+            0) {
+      RunArchiveGc(shared_, shared_.gc_history.front());
+    }
+    shared_.gc_history.push_back(res.global_vc);
+    while (shared_.gc_history.size() > lag) shared_.gc_history.pop_front();
   }
   shared_.barrier->Rendezvous();
   ++sync_phase_;

@@ -53,6 +53,18 @@ struct SharedState {
   std::vector<std::unique_ptr<IntervalArchive>> archives;  // per proc
   std::unique_ptr<BarrierService> barrier;
   std::unique_ptr<LockService> locks;
+  // Archive GC (DESIGN.md §6): canonical base images holding the contents
+  // of reclaimed intervals, archive footprint telemetry, and the flatten
+  // target — the global vector clock of the last completed barrier, which
+  // every node has fully processed by the time the next barrier's idle
+  // window opens.  gc_target/gc_passes are touched only by proc 0 inside
+  // that window.
+  std::unique_ptr<CanonicalStore> canonical;
+  ArchiveTelemetry archive_telemetry;
+  // Global clocks of the most recent gc_lag_barriers completed barriers,
+  // oldest first; the front is the flatten target once full.
+  std::deque<VectorClock> gc_history;
+  std::uint64_t gc_passes = 0;
   // BackendKind::kReference: the single image all processors access
   // directly (null under the LRC backend, where every node owns a private
   // image).  Race-free programs touch disjoint words between
@@ -105,6 +117,24 @@ class Node {
   // Close the current open interval (normally driven by release/barrier;
   // public for tests and for Runtime teardown).
   void CloseInterval();
+
+  // Barrier-epoch archive GC (DESIGN.md §6), run by proc 0 inside the
+  // extended barrier window while every node is idle: flatten all archived
+  // intervals dominated by `through` (the previous barrier's global vector
+  // clock) into canonical base images, convert every node's dominated
+  // pending notices into FlattenedChains, and reclaim the records.
+  // Host-side only — modelled times and statistics are unchanged.
+  static void RunArchiveGc(SharedState& shared, const VectorClock& through);
+
+  // Flattened (reclaimed-history) chains pending for `unit` on this node —
+  // observability for tests.
+  const std::vector<FlattenedChain>& flattened_chains(UnitId unit) const {
+    return flattened_[unit];
+  }
+  // Live pending notices for `unit` (post-GC tail) — observability.
+  std::size_t pending_count(UnitId unit) const {
+    return pending_[unit].size();
+  }
 
  private:
   // The LRC protocol machinery runs only when there is someone to talk to
@@ -171,6 +201,11 @@ class Node {
   PageTable table_;
   WordTracker tracker_;
   std::vector<std::vector<PendingInterval>> pending_;
+  // Reclaimed-history chains per unit (archive GC, DESIGN.md §6): the
+  // coalesced chains of flattened intervals this node had pending when
+  // they were reclaimed.  Consumed (with any live tail) at the next fault
+  // on the unit; their data is served from the shared canonical base.
+  std::vector<std::vector<FlattenedChain>> flattened_;
   // Lazy-diffing cost model (see protocol.cc): a unit whose twin was just
   // diffed at a release can be re-dirtied for free — in real TreadMarks
   // the twin simply persists across the release — unless a peer has
@@ -199,12 +234,30 @@ class Node {
   // Scratch buffers reused across faults and synchronizations, so the
   // steady-state fault path performs no allocations (vector capacity and
   // pooled diff storage persist between calls).
+  //
+  // One per-writer coalesced chain the fault must fetch: either a live
+  // chain (diff != nullptr) or a flattened chain (flat != nullptr) whose
+  // payload is copied from the canonical base, with any live diffs
+  // absorbed into its tail applied on top.
   struct NeedEntry {
     UnitId unit;
-    const IntervalRecord* rec;  // latest interval of the coalesced chain
-    const Diff* diff;
+    ProcId writer;
+    Seq last_seq;                // chain tail (happens-before ordering)
+    const VectorClock* last_vc;  // tail's close-time clock
+    const Diff* diff;            // live chain: the (possibly merged) diff
+    FlattenedChain* flat;        // reclaimed chain (data in canonical base)
+    // Live diffs absorbed into flat's tail: indices into absorbed_scratch_.
+    std::uint32_t absorbed_begin;
+    std::uint32_t absorbed_count;
     std::uint32_t exchange_id;
     bool needs_scan;  // server must materialize (this requester pays)
+
+    std::size_t EncodedBytes() const {
+      return flat != nullptr ? flat->EncodedBytes() : diff->EncodedBytes();
+    }
+    std::size_t PayloadWords() const {
+      return flat != nullptr ? flat->payload_words : diff->payload_words();
+    }
   };
   struct ResolvedDiff {
     const IntervalRecord* rec;
@@ -216,6 +269,7 @@ class Node {
   std::vector<const ResolvedDiff*> chain_scratch_;    // FetchUnits
   std::deque<Diff> merged_scratch_;                   // FetchUnits
   std::vector<NeedEntry> apply_scratch_;              // FetchUnits
+  std::vector<const Diff*> absorbed_scratch_;         // FetchUnits
   std::vector<UnitId> fetch_scratch_;                 // ValidateUnit
   std::vector<const IntervalRecord*> notice_scratch_;  // Barrier/AcquireLock
 };

@@ -62,6 +62,15 @@ RunStats Runtime::CollectStats() const {
     stats.comm.Merge(node->comm_stats().Finalize());
     stats.net.Merge(node->net_stats());
   }
+  const ArchiveTelemetry& t = shared_.archive_telemetry;
+  stats.mem.peak_live_intervals =
+      t.peak_live_intervals.load(std::memory_order_relaxed);
+  stats.mem.peak_archive_bytes =
+      t.peak_live_bytes.load(std::memory_order_relaxed);
+  stats.mem.reclaimed_intervals =
+      t.reclaimed_intervals.load(std::memory_order_relaxed);
+  stats.mem.canonical_base_peak_bytes = shared_.canonical->peak_bytes();
+  stats.mem.gc_passes = shared_.gc_passes;
   return stats;
 }
 

@@ -105,12 +105,25 @@ class Proc {
   Node& node_;
 };
 
+// Host-side memory footprint of one Run (archive GC telemetry).  NOT part
+// of the modelled state: these numbers change with
+// RuntimeConfig::gc_interval_barriers while every modelled quantity stays
+// bit-identical, so fingerprints and equivalence checks must exclude them.
+struct MemoryFootprint {
+  std::uint64_t peak_live_intervals = 0;  // across all archives
+  std::uint64_t peak_archive_bytes = 0;   // notice metadata + diff wire size
+  std::uint64_t reclaimed_intervals = 0;
+  std::uint64_t canonical_base_peak_bytes = 0;
+  std::uint64_t gc_passes = 0;
+};
+
 // Aggregated results of one Run.
 struct RunStats {
   VirtualNanos exec_time = 0;  // max over nodes (the run's critical path)
   std::vector<VirtualNanos> node_times;
   CommBreakdown comm;
   NetStats net;
+  MemoryFootprint mem;
 
   double exec_seconds() const {
     return static_cast<double>(exec_time) /

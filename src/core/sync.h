@@ -41,9 +41,13 @@ class BarrierService {
   // Pure host-level rendezvous with no clock, vc, or statistics effects.
   // The protocol calls it right after Arrive to extend the barrier into a
   // window in which every processor is known to be idle, so cross-node
-  // cost-model flags can be read and reset deterministically (no
-  // application faults are in flight anywhere).  Does not count as a
-  // completed barrier.
+  // state can be read and reset deterministically (no application faults
+  // are in flight anywhere).  Two things ride this window: the
+  // lazy-diffing cost-model flag drain, and the barrier-epoch archive GC
+  // (DESIGN.md §6), which proc 0 executes before its own rendezvous
+  // arrival — the wait here is what keeps every other node from faulting
+  // into a half-collected archive.  Does not count as a completed
+  // barrier.
   void Rendezvous();
 
   std::uint64_t barriers_completed() const;

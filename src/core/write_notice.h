@@ -8,6 +8,13 @@
 // records become immutable, which lets a faulting peer read them under a
 // short mutex without coordinating with the owner's thread, mirroring
 // TreadMarks' asynchronous request handlers.
+//
+// Archives do not grow with run length: at barrier epochs the garbage
+// collector (DESIGN.md §6) flattens every interval dominated by the
+// previous barrier's global vector clock into per-unit canonical base
+// images and reclaims the records.  Chains of reclaimed intervals that
+// some node still had pending survive as FlattenedChains — payload-free
+// run lists whose data is served from the canonical base at fault time.
 #pragma once
 
 #include <atomic>
@@ -44,7 +51,12 @@ struct IntervalRecord {
   // Diff objects themselves are always materialized eagerly for
   // bookkeeping — archived records must be immutable for lock-free peer
   // reads.)
-  std::unique_ptr<std::atomic<std::uint32_t>[]> diffed;
+  //
+  // Shared ownership: when the record is reclaimed by archive GC, any
+  // FlattenedChain built from it keeps the stamp array alive, so the
+  // first-requester-pays decision replays identically whether or not the
+  // record's payload was flattened away in the meantime.
+  std::shared_ptr<std::atomic<std::uint32_t>[]> diffed;
 
   // Returns nullptr when this interval did not modify `unit`.
   const Diff* DiffFor(UnitId unit) const;
@@ -53,9 +65,15 @@ struct IntervalRecord {
   // True iff a requester in barrier phase `phase` pays the scan cost for
   // materializing units[i]; the first caller stamps the phase.
   bool PaysForDiff(int i, std::uint32_t phase) const {
+    return PaysForStamp(diffed[i], phase);
+  }
+
+  // The stamp protocol, shared with FlattenedChain's retained stamps.
+  static bool PaysForStamp(std::atomic<std::uint32_t>& stamp,
+                           std::uint32_t phase) {
     std::uint32_t expected = 0;
-    if (diffed[i].compare_exchange_strong(expected, phase + 1,
-                                          std::memory_order_relaxed)) {
+    if (stamp.compare_exchange_strong(expected, phase + 1,
+                                      std::memory_order_relaxed)) {
       return true;
     }
     return expected == phase + 1;
@@ -65,6 +83,10 @@ struct IntervalRecord {
   // (per notice: unit id + interval id; plus a small interval header).
   std::size_t NoticeBytes() const { return 16 + units.size() * 8; }
 
+  // Bytes retained by this record: notice metadata plus the wire size of
+  // every diff (runs + payload).  The unit of archive-memory telemetry.
+  std::size_t RetainedBytes() const;
+
   // True iff this interval happened-before `other` (LRC partial order):
   // other's close-time clock covers this interval.
   bool HappenedBefore(const IntervalRecord& other) const {
@@ -72,12 +94,67 @@ struct IntervalRecord {
   }
 };
 
-// Append-only archive of one node's closed intervals.  The owner appends at
-// interval close; peers look up records while handling faults or merging
-// barrier notices.  std::deque keeps references to existing records stable
-// across appends, but all access still takes the mutex (deque bookkeeping
-// itself is not thread-safe); lookups return stable pointers that remain
-// valid after the mutex is released.
+// One lazy-diffing stamp retained from a reclaimed record (see
+// IntervalRecord::diffed): the shared array plus the unit's index in it.
+struct StampRef {
+  std::shared_ptr<std::atomic<std::uint32_t>[]> stamps;
+  std::uint32_t index = 0;
+};
+
+// A coalesced chain of reclaimed intervals of ONE writer for ONE unit that
+// some node still had pending when the chain was flattened into the
+// canonical base image.  It preserves everything the fault path needs to
+// replay bit-identical modelled costs without the records' payload:
+//
+//   * the canonical run list of the chain's merged diff (wire-size and
+//     word-delivery accounting; the data itself is copied from the
+//     canonical base at apply time),
+//   * the head/tail interval identity (happens-before ordering against
+//     live records and the chain-absorption safety check),
+//   * the lazy-diffing stamps of every flattened member (the
+//     first-requester-pays-the-scan decision).
+struct FlattenedChain {
+  ProcId writer = -1;
+  Seq first_seq = 0;       // chain head, for the absorption safety check
+  Seq last_seq = 0;        // chain tail…
+  VectorClock last_vc;     // …and its close-time clock (apply ordering)
+  // A reclaimed foreign interval is ordered after the chain's head: no
+  // later interval of `writer` may ever be absorbed into this chain
+  // (matches the fault path's per-record safety check, whose reclaimed
+  // witnesses are gone).
+  bool blocked = false;
+  std::vector<DiffRun> runs;     // merged run list, canonical, payload-free
+  std::size_t payload_words = 0;  // == Diff::RunWords(runs), cached
+  std::vector<StampRef> stamps;  // one per flattened member interval
+
+  // Wire size of the chain's merged diff, matching Diff::EncodedBytes().
+  std::size_t EncodedBytes() const {
+    return Diff::kHeaderBytes + runs.size() * Diff::kRunDescriptorBytes +
+           payload_words * kWordBytes;
+  }
+};
+
+// Footprint counters shared by all archives of a run (updated under each
+// archive's own mutex; atomics make the cross-archive sums race-free).
+struct ArchiveTelemetry {
+  std::atomic<std::uint64_t> live_intervals{0};
+  std::atomic<std::uint64_t> peak_live_intervals{0};
+  std::atomic<std::uint64_t> live_bytes{0};
+  std::atomic<std::uint64_t> peak_live_bytes{0};
+  std::atomic<std::uint64_t> reclaimed_intervals{0};
+
+  void OnAppend(std::uint64_t bytes);
+  void OnReclaim(std::uint64_t records, std::uint64_t bytes);
+};
+
+// Archive of one node's closed intervals.  The owner appends at interval
+// close; peers look up records while handling faults or merging barrier
+// notices; the barrier-epoch garbage collector reclaims the dominated
+// prefix.  std::deque keeps references to surviving records stable across
+// both appends and front-pruning, but all access still takes the mutex
+// (deque bookkeeping itself is not thread-safe); lookups return stable
+// pointers that remain valid after the mutex is released — until the
+// record's seq is pruned.
 class IntervalArchive {
  public:
   // Appends a record (records must arrive in increasing seq order).
@@ -91,12 +168,25 @@ class IntervalArchive {
   // All records with from < seq <= to, in increasing seq order.
   std::vector<const IntervalRecord*> Range(Seq from, Seq to) const;
 
+  // Reclaim every record with seq <= through (always a prefix: seqs are
+  // appended in increasing order).  Caller must guarantee no pointer to a
+  // pruned record is still in use — the GC converts all such references to
+  // FlattenedChains first.  Returns the number of records reclaimed.
+  std::size_t PruneThrough(Seq through);
+
+  // Smallest seq still archived (0 when empty) — pruned seqs can never be
+  // Find()/Range()d again.
+  Seq min_retained_seq() const;
+
+  void set_telemetry(ArchiveTelemetry* t) { telemetry_ = t; }
+
   std::size_t size() const;
   std::size_t TotalDiffBytes() const;
 
  private:
   mutable std::mutex mutex_;
   std::deque<IntervalRecord> records_;
+  ArchiveTelemetry* telemetry_ = nullptr;
 };
 
 }  // namespace dsm

@@ -244,6 +244,43 @@ Diff Diff::Merge(const Diff& older, const Diff& newer,
   return merged;
 }
 
+std::vector<DiffRun> Diff::MergeRuns(const std::vector<DiffRun>& a,
+                                     const std::vector<DiffRun>& b) {
+  std::vector<DiffRun> out;
+  out.reserve(a.size() + b.size());
+  auto append = [&out](std::uint32_t offset, std::uint32_t count) {
+    if (count == 0) return;
+    if (!out.empty() &&
+        out.back().word_offset + out.back().word_count >= offset) {
+      const std::uint32_t end =
+          std::max(out.back().word_offset + out.back().word_count,
+                   offset + count);
+      out.back().word_count = end - out.back().word_offset;
+    } else {
+      out.push_back({offset, count});
+    }
+  };
+  std::size_t ai = 0, bi = 0;
+  while (ai < a.size() && bi < b.size()) {
+    if (a[ai].word_offset <= b[bi].word_offset) {
+      append(a[ai].word_offset, a[ai].word_count);
+      ++ai;
+    } else {
+      append(b[bi].word_offset, b[bi].word_count);
+      ++bi;
+    }
+  }
+  for (; ai < a.size(); ++ai) append(a[ai].word_offset, a[ai].word_count);
+  for (; bi < b.size(); ++bi) append(b[bi].word_offset, b[bi].word_count);
+  return out;
+}
+
+std::size_t Diff::RunWords(const std::vector<DiffRun>& runs) {
+  std::size_t total = 0;
+  for (const DiffRun& r : runs) total += r.word_count;
+  return total;
+}
+
 void Diff::Apply(std::span<std::byte> dst) const {
   const std::size_t num_words = dst.size() / kWordBytes;
   std::size_t payload_pos = 0;  // bytes

@@ -44,6 +44,17 @@ class Diff {
   static Diff Merge(const Diff& older, const Diff& newer,
                     std::size_t words_per_unit);
 
+  // Payload-free counterpart of Merge: the canonical (sorted, maximal,
+  // disjoint) run decomposition of the union of two canonical run lists.
+  // Guaranteed to equal Merge(a, b).runs() for any diffs with those runs —
+  // archive GC relies on this to keep wire-size accounting bit-identical
+  // after diff payloads have been reclaimed (see DESIGN.md §6).
+  static std::vector<DiffRun> MergeRuns(const std::vector<DiffRun>& a,
+                                        const std::vector<DiffRun>& b);
+
+  // Total words covered by a canonical run list.
+  static std::size_t RunWords(const std::vector<DiffRun>& runs);
+
   bool empty() const { return runs_.empty(); }
   std::size_t num_runs() const { return runs_.size(); }
   std::size_t payload_words() const { return payload_.size() / kWordBytes; }

@@ -1,5 +1,6 @@
 #include "mem/page_table.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/check.h"
@@ -18,6 +19,37 @@ const char* UnitStateName(UnitState s) {
       return "updated_invalid";
   }
   return "unknown";
+}
+
+CanonicalStore::CanonicalStore(std::size_t num_units, std::size_t unit_bytes)
+    : unit_bytes_(unit_bytes), bases_(num_units) {}
+
+std::span<std::byte> CanonicalStore::Ensure(UnitId unit) {
+  if (bases_[unit] == nullptr) {
+    if (!free_bases_.empty()) {
+      bases_[unit] = std::move(free_bases_.back());
+      free_bases_.pop_back();
+      std::memset(bases_[unit].get(), 0, unit_bytes_);
+      ++recycles_;
+    } else {
+      bases_[unit].reset(new std::byte[unit_bytes_]());
+    }
+    ++live_count_;
+    peak_count_ = std::max(peak_count_, live_count_);
+  }
+  return {bases_[unit].get(), unit_bytes_};
+}
+
+std::span<const std::byte> CanonicalStore::base(UnitId unit) const {
+  DSM_CHECK(bases_[unit] != nullptr)
+      << "unit " << unit << " has no canonical base";
+  return {bases_[unit].get(), unit_bytes_};
+}
+
+void CanonicalStore::Release(UnitId unit) {
+  if (bases_[unit] == nullptr) return;
+  free_bases_.push_back(std::move(bases_[unit]));
+  --live_count_;
 }
 
 PageTable::PageTable(std::size_t num_units, std::size_t unit_bytes)

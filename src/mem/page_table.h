@@ -35,6 +35,51 @@ enum class UnitState : std::uint8_t {
 
 const char* UnitStateName(UnitState s);
 
+// Canonical base images for archive GC (DESIGN.md §6): one full-unit
+// snapshot per consistency unit that holds the contents implied by every
+// reclaimed interval, applied in happens-before order on top of the
+// zero-initialized heap.  FlattenedChains carry only run lists; at fault
+// time their data is copied from here.  Shared across nodes, touched only
+// inside the idle barrier window (GC) and by the faulting node itself
+// (reads of an immutable-between-barriers image), so no locking is needed.
+//
+// Buffers are allocated lazily (only units that ever had a pending chain
+// flattened pay) and recycled through a free pool, like twins: when a GC
+// pass observes that no node holds a flattened chain for a unit any more,
+// the unit's base is dropped to the pool and a later flatten re-ensures a
+// zeroed buffer (safe: a fresh stub's runs are always covered by the
+// records applied after re-ensuring).
+class CanonicalStore {
+ public:
+  CanonicalStore(std::size_t num_units, std::size_t unit_bytes);
+
+  bool Has(UnitId unit) const { return bases_[unit] != nullptr; }
+
+  // Base image of `unit`, allocating a zero-filled buffer on first use.
+  std::span<std::byte> Ensure(UnitId unit);
+
+  // Read-only view; unit must have a base.
+  std::span<const std::byte> base(UnitId unit) const;
+
+  // Return the unit's buffer to the free pool (no-op without a base).
+  void Release(UnitId unit);
+
+  std::size_t unit_bytes() const { return unit_bytes_; }
+  // Bytes currently held by live bases / the high-water mark over the run
+  // (pooled free buffers are not counted: they are capacity, not content).
+  std::size_t live_bytes() const { return live_count_ * unit_bytes_; }
+  std::size_t peak_bytes() const { return peak_count_ * unit_bytes_; }
+  std::uint64_t base_recycles() const { return recycles_; }
+
+ private:
+  std::size_t unit_bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> bases_;
+  std::vector<std::unique_ptr<std::byte[]>> free_bases_;
+  std::size_t live_count_ = 0;
+  std::size_t peak_count_ = 0;
+  std::uint64_t recycles_ = 0;
+};
+
 class PageTable {
  public:
   PageTable(std::size_t num_units, std::size_t unit_bytes);

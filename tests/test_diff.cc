@@ -351,6 +351,31 @@ TEST_P(DiffPropertyTest, RunsAreCanonical) {
   EXPECT_LE(prev_end, words);
 }
 
+// Archive GC reconstructs merged-chain wire sizes from payload-free run
+// lists, so MergeRuns must reproduce Merge's run structure exactly.
+TEST_P(DiffPropertyTest, MergeRunsMatchesMergeRunStructure) {
+  Xoshiro256 rng(GetParam() ^ 0x6c0de);
+  const std::size_t words = 64 + rng.UniformInt(256);
+  std::vector<std::uint32_t> v0(words), v1(words), v2(words);
+  for (std::size_t i = 0; i < words; ++i) {
+    v0[i] = static_cast<std::uint32_t>(rng.Next());
+    v1[i] = rng.UniformDouble() < 0.4 ? v0[i] + 1 : v0[i];
+    v2[i] = rng.UniformDouble() < 0.4 ? v0[i] + 2 : v0[i];
+  }
+  auto b0 = Bytes(v0), b1 = Bytes(v1), b2 = Bytes(v2);
+  const Diff older = Diff::Create(b0, b1);
+  const Diff newer = Diff::Create(b0, b2);
+  const Diff merged = Diff::Merge(older, newer, words);
+  const std::vector<DiffRun> runs =
+      Diff::MergeRuns(older.runs(), newer.runs());
+  ASSERT_EQ(runs.size(), merged.runs().size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].word_offset, merged.runs()[i].word_offset) << i;
+    EXPECT_EQ(runs[i].word_count, merged.runs()[i].word_count) << i;
+  }
+  EXPECT_EQ(Diff::RunWords(runs), merged.payload_words());
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, DiffPropertyTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
 
