@@ -141,6 +141,86 @@ Row RunCell(const BenchScenario& s, const ModePoint& mode, int num_procs,
   return row;
 }
 
+// Minimal reader for the JSON this binary itself writes (one row object
+// per line): extracts (app, dataset, mode, stable, wall_ms) per row.
+struct BaselineRow {
+  std::string app, dataset, mode;
+  bool stable = false;
+  double wall_ms = 0;
+};
+
+std::vector<BaselineRow> ReadBaseline(const std::string& path) {
+  std::vector<BaselineRow> rows;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open baseline %s\n", path.c_str());
+    return rows;
+  }
+  char line[2048];
+  auto field = [](const char* s, const char* key) -> std::string {
+    const char* p = std::strstr(s, key);
+    if (p == nullptr) return {};
+    p += std::strlen(key);
+    const char* e = std::strchr(p, '"');
+    return e != nullptr ? std::string(p, e) : std::string();
+  };
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strstr(line, "\"app\"") == nullptr) continue;
+    BaselineRow r;
+    r.app = field(line, "\"app\": \"");
+    r.dataset = field(line, "\"dataset\": \"");
+    r.mode = field(line, "\"mode\": \"");
+    r.stable = std::strstr(line, "\"stable\": true") != nullptr;
+    const char* w = std::strstr(line, "\"wall_ms\": ");
+    if (w != nullptr) r.wall_ms = std::atof(w + 11);
+    if (!r.app.empty()) rows.push_back(std::move(r));
+  }
+  std::fclose(f);
+  return rows;
+}
+
+// Gate: every stable row's host wall-clock must stay within
+// `tolerance` (fractional) of the committed baseline.  Unstable rows
+// (lock programs) and rows missing from the baseline are reported but
+// never gate.  Returns the number of regressions.
+int CompareToBaseline(const std::vector<Row>& rows,
+                      const std::vector<BaselineRow>& baseline,
+                      double tolerance) {
+  int regressions = 0;
+  for (const Row& r : rows) {
+    const BaselineRow* base = nullptr;
+    for (const BaselineRow& b : baseline) {
+      if (b.app == r.app && b.dataset == r.dataset && b.mode == r.mode) {
+        base = &b;
+        break;
+      }
+    }
+    if (base == nullptr) {
+      std::printf("baseline: %s/%s/%s not in baseline (new row?)\n",
+                  r.app.c_str(), r.dataset.c_str(), r.mode.c_str());
+      continue;
+    }
+    const double ratio = base->wall_ms > 0 ? r.wall_ms / base->wall_ms : 1.0;
+    const bool gated = r.stable && base->stable;
+    const bool regressed = gated && ratio > 1.0 + tolerance;
+    if (regressed) ++regressions;
+    if (regressed || ratio > 1.0 + tolerance) {
+      std::printf("baseline: %-8s %-10s %-4s %8.1f -> %8.1f ms (%+.0f%%)%s\n",
+                  r.app.c_str(), r.dataset.c_str(), r.mode.c_str(),
+                  base->wall_ms, r.wall_ms, (ratio - 1.0) * 100,
+                  regressed ? "  REGRESSION" : "  (unstable, not gated)");
+    }
+  }
+  if (regressions > 0) {
+    std::printf("baseline gate FAILED: %d stable row(s) regressed >%.0f%%\n",
+                regressions, tolerance * 100);
+  } else {
+    std::printf("baseline gate passed (tolerance %.0f%%)\n",
+                tolerance * 100);
+  }
+  return regressions;
+}
+
 void WriteJson(const std::vector<Row>& rows, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -158,7 +238,8 @@ void WriteJson(const std::vector<Row>& rows, const std::string& path) {
         "\"fingerprint\": \"%016llx\", "
         "\"peak_live_intervals\": %llu, \"peak_archive_bytes\": %llu, "
         "\"reclaimed_intervals\": %llu, \"canonical_base_bytes\": %llu, "
-        "\"gc_passes\": %llu}%s\n",
+        "\"gc_passes\": %llu, \"chains_built\": %llu, "
+        "\"chains_shared\": %llu, \"records_elided\": %llu}%s\n",
         r.app.c_str(), r.dataset.c_str(), r.mode.c_str(),
         r.stable ? "true" : "false", r.wall_ms, r.modelled_ms, r.result,
         static_cast<unsigned long long>(r.fingerprint),
@@ -167,6 +248,9 @@ void WriteJson(const std::vector<Row>& rows, const std::string& path) {
         static_cast<unsigned long long>(r.mem.reclaimed_intervals),
         static_cast<unsigned long long>(r.mem.canonical_base_peak_bytes),
         static_cast<unsigned long long>(r.mem.gc_passes),
+        static_cast<unsigned long long>(r.mem.chains_built),
+        static_cast<unsigned long long>(r.mem.chains_shared),
+        static_cast<unsigned long long>(r.mem.records_elided),
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -186,12 +270,21 @@ int main(int argc, char** argv) {
 #endif
   int num_procs = 8;
   int gc_interval = dsm::RuntimeConfig{}.gc_interval_barriers;
-  std::string app_filter, mode_filter;
+  std::string app_filter, mode_filter, baseline_path;
   bool explicit_out = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out = argv[i] + 6;
       explicit_out = true;
+    }
+    // CI gate (see .github/workflows/ci.yml Release job): compare this
+    // sweep's host wall-clock against the committed BENCH_wallclock.json
+    // and exit non-zero if any STABLE row regressed more than 25% — the
+    // Water-class "GC quietly costs half the wall-clock" regressions get
+    // caught by the unstable-row report lines even though locks keep
+    // those rows from gating hard.
+    if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
+      baseline_path = argv[i] + 11;
     }
     if (std::strncmp(argv[i], "--procs=", 8) == 0) {
       num_procs = std::atoi(argv[i] + 8);
@@ -236,11 +329,25 @@ int main(int argc, char** argv) {
   const bool partial = !app_filter.empty() || !mode_filter.empty() ||
                        gc_interval !=
                            dsm::RuntimeConfig{}.gc_interval_barriers;
+  // Read the baseline BEFORE writing results (--out may point at the
+  // same file; CI reuses the committed baseline path for the artifact),
+  // but always write the fresh sweep before gating — the regressed
+  // numbers are the diagnostic.
+  std::vector<BaselineRow> baseline;
+  if (!baseline_path.empty()) baseline = ReadBaseline(baseline_path);
   if (partial && !explicit_out) {
     std::printf("partial sweep: not writing %s (pass --out= to force)\n",
                 out.c_str());
   } else {
     WriteJson(rows, out);
+  }
+  if (!baseline_path.empty()) {
+    if (baseline.empty()) {
+      std::fprintf(stderr, "baseline %s empty or unreadable\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    if (CompareToBaseline(rows, baseline, 0.25) > 0) return 1;
   }
   return 0;
 }

@@ -33,11 +33,22 @@ void DynamicAggregator::RemoveFromGroup(UnitId unit) {
   const std::int32_t gid = group_of_[unit];
   if (gid < 0) return;
   auto& members = groups_[static_cast<std::size_t>(gid)];
-  members.erase(std::find(members.begin(), members.end(), unit));
+  auto it = std::find(members.begin(), members.end(), unit);
+  // Membership invariant: group_of_[u] == g ⟺ u ∈ groups_[g].  erase(end())
+  // would be UB, so fail loudly if the invariant ever breaks.
+  DSM_CHECK(it != members.end())
+      << "aggregator: unit " << unit << " maps to group " << gid
+      << " but is not among its members";
+  members.erase(it);
   group_of_[unit] = -1;
-  // A group of one page aggregates nothing; dissolve it.
+  // A group of one page aggregates nothing; dissolve it.  Unmap the
+  // survivor BEFORE clearing so the two sides of the invariant never
+  // disagree, even transiently — the regroup loop in OnSynchronization
+  // re-enters this function (and may reuse the freed id) while iterating.
   if (members.size() == 1) {
-    group_of_[members.front()] = -1;
+    const UnitId survivor = members.front();
+    DSM_CHECK_EQ(group_of_[survivor], gid);
+    group_of_[survivor] = -1;
     members.clear();
   }
   if (members.empty()) {

@@ -1,6 +1,8 @@
 #include "core/protocol.h"
 
 #include <algorithm>
+#include <string>
+#include <unordered_map>
 
 namespace dsm {
 
@@ -41,6 +43,9 @@ SharedState::SharedState(const RuntimeConfig& cfg)
   }
   canonical =
       std::make_unique<CanonicalStore>(heap.num_units(), heap.unit_bytes());
+  gc_dom_prefix.resize(cfg.num_procs);
+  gc_dom_ready = std::vector<std::atomic<std::uint8_t>>(cfg.num_procs);
+  for (auto& r : gc_dom_ready) r.store(0, std::memory_order_relaxed);
 }
 
 Node::Node(ProcId id, SharedState& shared)
@@ -60,6 +65,7 @@ Node::Node(ProcId id, SharedState& shared)
       tracker_(shared.heap.num_units(), unit_bytes_ / kWordBytes),
       pending_(shared.heap.num_units()),
       flattened_(shared.heap.num_units()),
+      elided_(shared.heap.num_units()),
       retwin_cheap_(shared.heap.num_units(), 0),
       diff_requested_(shared.heap.num_units()),
       diff_request_seen_(shared.heap.num_units(), 0),
@@ -175,8 +181,21 @@ void Node::ValidateUnit(UnitId unit) {
     return;
   }
 
-  DSM_CHECK(!pending_[unit].empty() || !flattened_[unit].empty())
-      << "invalid unit " << unit << " with no pending write notices";
+  if (pending_[unit].empty() && flattened_[unit].empty()) {
+    // Read-aware flattening left only elided history for this unit: every
+    // reclaimed word was never read here, so there is nothing to fetch —
+    // refresh the bytes from the canonical base (data safety for a
+    // mispredicted later read) and revalidate locally.  Reached only in
+    // lock programs (only lock-release records are elided).
+    DSM_CHECK(!elided_[unit].empty())
+        << "invalid unit " << unit << " with no pending write notices";
+    RefreshElided(unit);
+    retwin_cheap_[unit] = 0;
+    table_.set_state(unit, table_.HasTwin(unit) ? UnitState::kDirty
+                                                : UnitState::kReadValid);
+    clock_.Advance(cost.mprotect_op);
+    return;
+  }
 
   retwin_cheap_[unit] = 0;
   std::vector<UnitId>& fetch = fetch_scratch_;
@@ -245,7 +264,7 @@ void Node::FetchUnits(const std::vector<UnitId>& units) {
       DSM_CHECK_GE(di, 0) << "interval (" << pi.proc << "," << pi.seq
                           << ") has no diff for unit " << unit;
       all.push_back({rec, &rec->diffs[static_cast<std::size_t>(di)],
-                     rec->PaysForDiff(di, sync_phase_)});
+                     rec->PaysForDiff(di, stamp_key())});
     }
     std::vector<FlattenedChain>& flat = flattened_[unit];
     for (ProcId w = 0; w < nprocs; ++w) {
@@ -270,11 +289,11 @@ void Node::FetchUnits(const std::vector<UnitId>& units) {
       bool needs_scan = false;
       for (FlattenedChain& c : flat) {
         if (c.writer != w) continue;
-        for (const StampRef& s : c.stamps) {
-          if (IntervalRecord::PaysForStamp(s.stamps[s.index], sync_phase_)) {
+        c.ForEachStamp([&](std::atomic<std::uint64_t>& stamp) {
+          if (IntervalRecord::PaysForStamp(stamp, stamp_key())) {
             needs_scan = true;
           }
-        }
+        });
       }
       for (const ResolvedDiff* r : chain_input) {
         if (r->pays_for_scan) needs_scan = true;
@@ -295,7 +314,7 @@ void Node::FetchUnits(const std::vector<UnitId>& units) {
         if (c.writer != w || &c == open_flat) continue;
         NeedEntry e{};
         e.last_seq = c.last_seq;
-        e.last_vc = &c.last_vc;
+        e.last_vc = &c.last_vc();
         e.flat = &c;
         push_need(e);
       }
@@ -304,7 +323,7 @@ void Node::FetchUnits(const std::vector<UnitId>& units) {
       auto flush_flat = [&] {
         NeedEntry e{};
         e.last_seq = open_flat->last_seq;
-        e.last_vc = &open_flat->last_vc;
+        e.last_vc = &open_flat->last_vc();
         e.flat = open_flat;
         e.absorbed_begin = absorbed_begin;
         e.absorbed_count =
@@ -345,11 +364,12 @@ void Node::FetchUnits(const std::vector<UnitId>& units) {
         if (open_flat != nullptr) {
           if (!open_flat->blocked &&
               may_absorb(open_flat->first_seq, *r->rec)) {
-            open_flat->runs =
-                Diff::MergeRuns(open_flat->runs, r->diff->runs());
-            open_flat->payload_words = Diff::RunWords(open_flat->runs);
+            // Copy-on-write: other nodes may share this chain's body.
+            ChainBody& b = open_flat->MutableBody();
+            b.runs = Diff::MergeRuns(b.runs, r->diff->runs());
+            b.payload_words = Diff::RunWords(b.runs);
+            b.last_vc = r->rec->vc;
             open_flat->last_seq = r->rec->seq;
-            open_flat->last_vc = r->rec->vc;
             absorbed_scratch_.push_back(r->diff);
             continue;
           }
@@ -427,6 +447,11 @@ void Node::FetchUnits(const std::vector<UnitId>& units) {
   const bool track = shared_.config.track_usage;
   std::vector<NeedEntry>& for_unit = apply_scratch_;
   for (UnitId unit : units) {
+    // Read-aware flattening fallback: lay any elided reclaimed words down
+    // first (host-side copy from the canonical base — the same source the
+    // chains below copy from), so everything applied afterwards lands on
+    // the bytes the full history would have produced.
+    RefreshElided(unit);
     for_unit.clear();
     for (ProcId w = 0; w < nprocs; ++w) {
       for (const auto& need : needs_by_writer_[w]) {
@@ -460,17 +485,11 @@ void Node::FetchUnits(const std::vector<UnitId>& units) {
         // the chain's runs from the base, then lay any live diffs
         // absorbed into the tail on top (they are newer than everything
         // reclaimed, so they win exactly as in the merged-diff path).
-        std::span<const std::byte> base = shared_.canonical->base(unit);
+        const std::vector<DiffRun>& runs = need.flat->runs();
         std::span<std::byte> dst = UnitSpan(unit);
-        for (const DiffRun& run : need.flat->runs) {
-          const std::size_t off =
-              std::size_t{run.word_offset} * kWordBytes;
-          const std::size_t len = std::size_t{run.word_count} * kWordBytes;
-          std::memcpy(dst.data() + off, base.data() + off, len);
-          if (twinned) {
-            std::memcpy(table_.twin(unit).data() + off, base.data() + off,
-                        len);
-          }
+        shared_.canonical->CopyRuns(unit, dst, runs);
+        if (twinned) {
+          shared_.canonical->CopyRuns(unit, table_.twin(unit), runs);
         }
         for (std::uint32_t a = 0; a < need.absorbed_count; ++a) {
           const Diff* d = absorbed_scratch_[need.absorbed_begin + a];
@@ -478,7 +497,7 @@ void Node::FetchUnits(const std::vector<UnitId>& units) {
           if (twinned) d->Apply(table_.twin(unit));
         }
         if (track) {
-          for (const DiffRun& run : need.flat->runs) {
+          for (const DiffRun& run : runs) {
             for (std::uint32_t i = 0; i < run.word_count; ++i) {
               tracker_.Deliver(unit, run.word_offset + i, need.exchange_id);
             }
@@ -503,7 +522,20 @@ void Node::FetchUnits(const std::vector<UnitId>& units) {
   }
 }
 
-void Node::CloseInterval() {
+void Node::RefreshElided(UnitId unit) {
+  std::vector<DiffRun>& runs = elided_[unit];
+  if (runs.empty()) return;
+  shared_.canonical->CopyRuns(unit, UnitSpan(unit), runs);
+  if (table_.HasTwin(unit)) {
+    shared_.canonical->CopyRuns(unit, table_.twin(unit), runs);
+  }
+  // Release the storage too: the run list pins the unit's canonical base
+  // (see RunArchiveGc pass 3), so an emptied-but-capacious vector would
+  // read as still pinning under a capacity-based check.
+  std::vector<DiffRun>().swap(runs);
+}
+
+void Node::CloseInterval(bool lock_release) {
   if (!protocol_enabled()) return;
   const auto& dirty = table_.dirty_units();
   if (dirty.empty()) return;
@@ -512,6 +544,7 @@ void Node::CloseInterval() {
   IntervalRecord rec;
   rec.proc = id_;
   rec.seq = ++vc_[id_];
+  rec.lock_release = lock_release;
   rec.units.reserve(dirty.size());
   rec.diffs.reserve(dirty.size());
   // Diffs are materialized here for bookkeeping (archived records must be
@@ -535,63 +568,249 @@ void Node::CloseInterval() {
   shared_.archives[id_]->Append(std::move(rec));
 }
 
-void Node::RunArchiveGc(SharedState& shared, const VectorClock& through) {
+// Flatten phase (pass 1 of DESIGN.md §6), striped: this node converts the
+// dominated pending notices of EVERY node for the units of its stripe
+// (unit % nprocs == id) into FlattenedChains, mirroring the fault path's
+// chain coalescing exactly (same absorption predicate over the same
+// record set — live records from later epochs can never block a dominated
+// absorption, because they happened-after every dominated interval).  It
+// also collects the (record, diff) pairs some node still needed into
+// gc_refs_: only those must go into the canonical base — an interval
+// pending nowhere was already applied by every node, and any word of it
+// that a future chain covers is rewritten there by a newer record of that
+// chain.  Striping keeps the pass deterministic (each unit has exactly
+// one worker, which walks nodes in fixed order) while spreading the work
+// over the idle window's threads instead of serializing it on proc 0.
+//
+// Two further optimizations recover the lock-heavy Water regression
+// (ROADMAP item 1):
+//
+//  * Read-aware flattening: a dominated LOCK-RELEASE record none of
+//    whose words the pending node ever read (Water's aux/force slots)
+//    builds no chain at all — its words go into the node's per-unit
+//    elided-run list, silently refreshed from the canonical base at the
+//    next fault.  The record still reaches the base, so a mispredicted
+//    later read is data-safe.  Barrier-closed records are never elided,
+//    which keeps the pass bit-invisible for barrier (= bit-reproducible)
+//    programs.
+//
+//  * Shared flattened chains: one reclaimed record is typically pending
+//    at most of the other nodes, and their chain builds are identical
+//    whenever their pre-existing chains and kept record lists coincide.
+//    An intern cache keyed on exactly those inputs builds each chain set
+//    once and hands out cheap headers over shared ChainBodies; per-node
+//    builds remain only where pending sets diverge.  All sharing for a
+//    unit happens inside its one worker, so the cache is worker-local
+//    and the build (including the telemetry) is bit-deterministic.
+void Node::GcFlattenStripe(const VectorClock& through, int start,
+                           int step) {
+  SharedState& shared = shared_;
   const int nprocs = shared.config.num_procs;
   const std::size_t num_units = shared.heap.num_units();
+  // Read-aware elision needs the usage tracker's consumed-delivery
+  // bitmaps; with track_usage off no interest ever accumulates and the
+  // predicate would elide EVERY lock-release record, breaking
+  // track_usage's modelled-invisibility contract.
+  const bool read_aware =
+      shared.config.gc_read_aware && shared.config.track_usage;
 
-  // Every interval with seq <= through[proc] is dominated: it closed
-  // before the previous barrier completed, so every node has merged its
-  // notice (the interval is pending or applied everywhere) and no new
-  // reference to it can ever be created.
-  bool any = false;
-  for (ProcId p = 0; p < nprocs; ++p) {
-    const Seq oldest = shared.archives[p]->min_retained_seq();
-    if (oldest != 0 && oldest <= through[p]) any = true;
-  }
-  if (!any) return;
+  // Snapshot each archive's dominated prefix once (one mutex hold per
+  // archive): lock-heavy programs resolve tens of thousands of (proc,
+  // seq) references per pass, and per-reference Find() would pay a mutex
+  // round-trip each.  The snapshot is a lock-free binary-search index.
+  // Shared dominated-prefix snapshots, built once per archive per pass by
+  // the first worker that needs one.
+  auto dom_prefix_of =
+      [&shared, &through](
+          ProcId p) -> const std::vector<std::shared_ptr<const IntervalRecord>>& {
+    if (shared.gc_dom_ready[p].load(std::memory_order_acquire) == 0) {
+      std::lock_guard lock(shared.gc_snapshot_mutex);
+      if (shared.gc_dom_ready[p].load(std::memory_order_relaxed) == 0) {
+        shared.gc_dom_prefix[p] =
+            shared.archives[p]->RangeShared(0, through[p]);
+        shared.gc_dom_ready[p].store(1, std::memory_order_release);
+      }
+    }
+    return shared.gc_dom_prefix[p];
+  };
+  auto find_dominated =
+      [&](ProcId p, Seq seq) -> const std::shared_ptr<const IntervalRecord>* {
+    const auto& v = dom_prefix_of(p);
+    auto it = std::lower_bound(
+        v.begin(), v.end(), seq,
+        [](const std::shared_ptr<const IntervalRecord>& r, Seq s) {
+          return r->seq < s;
+        });
+    DSM_CHECK(it != v.end() && (*it)->seq == seq)
+        << "GC: missing interval (" << p << "," << seq << ")";
+    return &*it;
+  };
 
-  // Pass 1: convert every node's dominated pending notices into
-  // FlattenedChains, mirroring the fault path's chain coalescing exactly
-  // (same absorption predicate over the same record set — live records
-  // from later epochs can never block a dominated absorption, because
-  // they happened-after every dominated interval).  Collect the (record,
-  // diff) pairs some node still needed: only those must go into the
-  // canonical base — an interval pending nowhere was already applied by
-  // every node, and any word of it that a future chain covers is
-  // rewritten there by a newer record of that chain.
   struct Resolved {
     const IntervalRecord* rec;
+    // Shared ownership handle (single-record chains retain the record);
+    // points into dom_prefix, which outlives the pass.
+    const std::shared_ptr<const IntervalRecord>* owner;
     int di;
+    std::uint64_t vc_sum;
   };
-  std::vector<std::vector<Resolved>> referenced(num_units);
+  auto vc_sum_of = [](const IntervalRecord& r) {
+    std::uint64_t sum = 0;
+    for (int p = 0; p < r.vc.size(); ++p) sum += r.vc[p];
+    return sum;
+  };
+  // One reclaimed record is typically pending at most nodes; resolve each
+  // (proc, seq) once per unit and reuse across the node loop.
+  std::unordered_map<std::uint64_t, Resolved> resolve_memo;
   std::vector<PendingInterval> live;
-  std::vector<Resolved> dom;
+  std::vector<Resolved> kept;
+  std::vector<DiffRun> elide_accum;
+  std::vector<DiffRun> elide_canon;
   // Per-writer sorted foreign clock entries of the current batch (see the
   // absorption predicate below).
   std::vector<std::vector<Seq>> foreign_vcw(nprocs);
-  for (ProcId x = 0; x < nprocs; ++x) {
-    Node& node = *shared.nodes[x];
-    for (UnitId u = 0; u < num_units; ++u) {
+  // Chain intern cache for this worker's stripe.  Keyed on the node's
+  // pre-existing chains (header fields + body identity — bodies are
+  // compared by pointer, which is sound because every body referenced by
+  // a key outlives the cache) and the kept record pointers; the unit is
+  // implicit (all keys of one worker iteration share it, and the cache is
+  // cleared per unit).  The value is a node's complete post-build chain
+  // vector; a hit replaces the hitting node's chains wholesale with
+  // header copies sharing the cached bodies.
+  std::unordered_map<std::string, ProcId> chain_cache;
+  std::string key;
+  auto key_add = [&key](const void* p, std::size_t n) {
+    key.append(static_cast<const char*>(p), n);
+  };
+  std::uint64_t chains_built = 0, chains_shared = 0, records_elided = 0;
+
+  DSM_CHECK(gc_refs_.empty());
+  for (UnitId u = static_cast<UnitId>(start); u < num_units;
+       u += static_cast<UnitId>(step)) {
+    chain_cache.clear();
+    resolve_memo.clear();
+    for (ProcId x = 0; x < nprocs; ++x) {
+      Node& node = *shared.nodes[x];
       std::vector<PendingInterval>& pend = node.pending_[u];
       if (pend.empty()) continue;
       live.clear();
-      dom.clear();
+      kept.clear();
+      elide_accum.clear();
+      bool any_dom = false;
       for (const PendingInterval& pi : pend) {
         if (pi.seq > through[pi.proc]) {
           live.push_back(pi);
           continue;
         }
-        const IntervalRecord* rec = shared.archives[pi.proc]->Find(pi.seq);
-        DSM_CHECK(rec != nullptr)
-            << "GC: missing interval (" << pi.proc << "," << pi.seq << ")";
-        const int di = rec->IndexOf(u);
-        DSM_CHECK_GE(di, 0);
-        dom.push_back({rec, di});
+        any_dom = true;
+        const std::uint64_t rkey =
+            (std::uint64_t{static_cast<std::uint32_t>(pi.proc)} << 32) |
+            pi.seq;
+        auto memo = resolve_memo.find(rkey);
+        if (memo == resolve_memo.end()) {
+          const std::shared_ptr<const IntervalRecord>* owner =
+              find_dominated(pi.proc, pi.seq);
+          const IntervalRecord* rec = owner->get();
+          const int di = rec->IndexOf(u);
+          DSM_CHECK_GE(di, 0);
+          memo = resolve_memo.emplace(
+                             rkey, Resolved{rec, owner, di, vc_sum_of(*rec)})
+                     .first;
+          // Route the record to the canonical base exactly once per unit:
+          // every resolved record is kept or elided by SOME node, and
+          // either way its words must reach the base.
+          gc_refs_.push_back({u, rec, di, memo->second.vc_sum});
+        }
+        const Resolved& res = memo->second;
+        const Diff& diff =
+            res.rec->diffs[static_cast<std::size_t>(res.di)];
+        if (read_aware && res.rec->lock_release &&
+            !node.tracker_.ReadsAnyOf(u, diff.runs())) {
+          elide_accum.insert(elide_accum.end(), diff.runs().begin(),
+                             diff.runs().end());
+          ++records_elided;
+          continue;
+        }
+        kept.push_back(res);
       }
-      if (dom.empty()) continue;
+      if (!any_dom) continue;
       pend.assign(live.begin(), live.end());
-      for (const Resolved& r : dom) referenced[u].push_back(r);
 
+      if (!elide_accum.empty()) {
+        // Canonicalize (sort + coalesce) the elided words and fold them
+        // into the node's outstanding elided-run list for the unit.
+        std::sort(elide_accum.begin(), elide_accum.end(),
+                  [](const DiffRun& a, const DiffRun& b) {
+                    return a.word_offset < b.word_offset;
+                  });
+        elide_canon.clear();
+        for (const DiffRun& r : elide_accum) {
+          if (!elide_canon.empty() &&
+              r.word_offset <= elide_canon.back().word_offset +
+                                   elide_canon.back().word_count) {
+            DiffRun& back = elide_canon.back();
+            const std::uint32_t end =
+                std::max(back.word_offset + back.word_count,
+                         r.word_offset + r.word_count);
+            back.word_count = end - back.word_offset;
+          } else {
+            elide_canon.push_back(r);
+          }
+        }
+        std::vector<DiffRun>& elided = node.elided_[u];
+        if (elided.empty()) {
+          elided = elide_canon;
+        } else {
+          elided = Diff::MergeRuns(elided, elide_canon);
+        }
+      }
+      if (kept.empty()) continue;
+
+      // Pre-state identity: (body pointer, blocked) per chain suffices.
+      // A fault always consumes (clears) the chains it touches, and a GC
+      // extension copy-on-writes any shared body, so two chains with the
+      // same body pointer are bit-identical except for the blocked flag,
+      // which a later build may set on one sharer's header only.
+      key.clear();
+      for (const FlattenedChain& c : node.flattened_[u]) {
+        key.push_back(c.blocked ? 1 : 0);
+        const void* identity = c.rec != nullptr
+                                   ? static_cast<const void*>(c.rec.get())
+                                   : static_cast<const void*>(c.body.get());
+        key_add(&identity, sizeof(identity));
+      }
+      key.push_back('\xff');
+      for (const Resolved& r : kept) {
+        key_add(&r.rec, sizeof(r.rec));
+      }
+      auto hit = chain_cache.find(key);
+      if (hit != chain_cache.end()) {
+        // Identical pre-state and inputs: adopt the builder node's result
+        // (cheap headers; the bodies — runs, stamps, clocks — are
+        // shared).  The builder's vector is final (every node is visited
+        // once per unit), and this node's vector was its element-wise
+        // twin before the build, so only entries the build touched need
+        // copying — long-lived chain lists on never-faulting nodes would
+        // otherwise pay a full refcount round per chain per pass.
+        const std::vector<FlattenedChain>& built =
+            shared.nodes[hit->second]->flattened_[u];
+        std::vector<FlattenedChain>& mine = node.flattened_[u];
+        DSM_CHECK_GE(built.size(), mine.size());
+        for (std::size_t i = 0; i < mine.size(); ++i) {
+          const FlattenedChain& b = built[i];
+          FlattenedChain& m = mine[i];
+          if (m.rec.get() != b.rec.get() || m.body.get() != b.body.get() ||
+              m.blocked != b.blocked || m.last_seq != b.last_seq) {
+            m = b;
+            ++chains_shared;
+          }
+        }
+        for (std::size_t i = mine.size(); i < built.size(); ++i) {
+          mine.push_back(built[i]);
+          ++chains_shared;
+        }
+        continue;
+      }
       // The fault path's absorption predicate — "no foreign interval q
       // with chain_first happened-before q but not candidate-tail
       // happened-before q" — only reads q.vc[w] for a chain of writer w:
@@ -599,8 +818,11 @@ void Node::RunArchiveGc(SharedState& shared, const VectorClock& through) {
       // tail_seq.  Batches from lock-heavy programs can hold hundreds of
       // records per unit, so evaluate it by binary search over the
       // sorted foreign clock entries instead of rescanning the batch.
+      // (Elided records are excluded: the chains they would have ordered
+      // against are not built for this node, and their words reach the
+      // image via the base refresh regardless of absorption shape.)
       for (ProcId w = 0; w < nprocs; ++w) foreign_vcw[w].clear();
-      for (const Resolved& q : dom) {
+      for (const Resolved& q : kept) {
         for (ProcId w = 0; w < nprocs; ++w) {
           if (q.rec->proc != w) foreign_vcw[w].push_back(q.rec->vc[w]);
         }
@@ -621,29 +843,34 @@ void Node::RunArchiveGc(SharedState& shared, const VectorClock& through) {
         for (std::size_t i = 0; i < flat.size(); ++i) {
           if (flat[i].writer == w) open = i;
         }
-        for (const Resolved& r : dom) {
+        for (const Resolved& r : kept) {
           if (r.rec->proc != w) continue;
           const Diff& diff = r.rec->diffs[static_cast<std::size_t>(r.di)];
-          StampRef stamp{r.rec->diffed,
-                         static_cast<std::uint32_t>(r.di)};
           if (open != flat.size() && !flat[open].blocked &&
               may_absorb(w, flat[open].first_seq, r.rec->seq)) {
             FlattenedChain& c = flat[open];
-            c.runs = Diff::MergeRuns(c.runs, diff.runs());
-            c.payload_words = Diff::RunWords(c.runs);
+            // Copy-on-write: converts a single-record chain to a merged
+            // body, or clones a body shared with other nodes whose
+            // pending sets diverged.
+            ChainBody& b = c.MutableBody();
+            b.runs = Diff::MergeRuns(b.runs, diff.runs());
+            b.payload_words = Diff::RunWords(b.runs);
+            b.last_vc = r.rec->vc;
+            b.stamps = std::make_shared<const StampNode>(StampNode{
+                StampRef{r.rec->diffed, static_cast<std::uint32_t>(r.di)},
+                std::move(b.stamps)});
             c.last_seq = r.rec->seq;
-            c.last_vc = r.rec->vc;
-            c.stamps.push_back(std::move(stamp));
           } else {
+            // New chains start in the single-record form: one shared_ptr
+            // copy, no merged body until (unless) something is absorbed.
             FlattenedChain c;
             c.writer = w;
             c.first_seq = r.rec->seq;
             c.last_seq = r.rec->seq;
-            c.last_vc = r.rec->vc;
-            c.runs = diff.runs();
-            c.payload_words = Diff::RunWords(c.runs);
-            c.stamps.push_back(std::move(stamp));
+            c.rec = *r.owner;
+            c.di = r.di;
             flat.push_back(std::move(c));
+            ++chains_built;
             open = flat.size() - 1;
           }
         }
@@ -657,62 +884,87 @@ void Node::RunArchiveGc(SharedState& shared, const VectorClock& through) {
         const std::vector<Seq>& v = foreign_vcw[c.writer];
         if (!v.empty() && v.back() >= c.first_seq) c.blocked = true;
       }
+      chain_cache.emplace(key, x);
     }
   }
+  ArchiveTelemetry& tel = shared.archive_telemetry;
+  tel.chains_built.fetch_add(chains_built, std::memory_order_relaxed);
+  tel.chains_shared.fetch_add(chains_shared, std::memory_order_relaxed);
+  tel.records_elided.fetch_add(records_elided, std::memory_order_relaxed);
+}
 
-  // Pass 2: flatten the referenced diffs into the canonical base, per
-  // unit in happens-before order, so ordered overwrites land newest-last.
-  // Clock sums give a cheap deterministic linear extension: r
-  // happened-before q implies q.vc >= r.vc pointwise (covering a seq
-  // means the covering clock was merged from the closing writer's clock),
-  // strictly so in q's own component, hence sum(r.vc) < sum(q.vc).
-  // Concurrent records tie-break by (proc, seq); race-free programs write
-  // disjoint words in concurrent intervals, so the tie-break is
-  // unobservable there.
-  for (UnitId u = 0; u < num_units; ++u) {
-    std::vector<Resolved>& refs = referenced[u];
-    if (refs.empty()) continue;
-    auto vc_sum = [](const IntervalRecord& r) {
-      std::uint64_t sum = 0;
-      for (int p = 0; p < r.vc.size(); ++p) sum += r.vc[p];
-      return sum;
-    };
-    std::sort(refs.begin(), refs.end(),
-              [&](const Resolved& a, const Resolved& b) {
-                const std::uint64_t sa = vc_sum(*a.rec);
-                const std::uint64_t sb = vc_sum(*b.rec);
-                if (sa != sb) return sa < sb;
+// Apply phase (pass 2): flatten this stripe's referenced diffs into the
+// canonical base, per unit in happens-before order, so ordered overwrites
+// land newest-last.  Clock sums give a cheap deterministic linear
+// extension: r happened-before q implies q.vc >= r.vc pointwise (covering
+// a seq means the covering clock was merged from the closing writer's
+// clock), strictly so in q's own component, hence sum(r.vc) < sum(q.vc).
+// Concurrent records tie-break by (proc, seq); race-free programs write
+// disjoint words in concurrent intervals, so the tie-break is
+// unobservable there.  (Sums are precomputed at resolve time — deriving
+// them inside the comparator dominated this pass on lock-heavy batches.)
+// Also runs the base release-check for the stripe: a base neither a chain
+// nor an elided-run list references any more goes back to the pool
+// (elided runs pin the base because the silent refresh reads it at the
+// next fault).  Release never overlaps a concurrent worker's apply: a
+// unit with fresh references always retains chains or elided runs.
+void Node::GcApplyStripe(int start, int step) {
+  SharedState& shared = shared_;
+  const int nprocs = shared.config.num_procs;
+  const std::size_t num_units = shared.heap.num_units();
+
+  // gc_refs_ is already grouped by unit in ascending order (the flatten
+  // stripe walks units ascending), so only each group needs the
+  // happens-before sort — far cheaper than one global sort on lock-heavy
+  // batches.
+  for (std::size_t i = 0; i < gc_refs_.size();) {
+    const UnitId u = gc_refs_[i].unit;
+    std::size_t j = i;
+    while (j < gc_refs_.size() && gc_refs_[j].unit == u) ++j;
+    std::sort(gc_refs_.begin() + static_cast<std::ptrdiff_t>(i),
+              gc_refs_.begin() + static_cast<std::ptrdiff_t>(j),
+              [](const GcRef& a, const GcRef& b) {
+                if (a.vc_sum != b.vc_sum) return a.vc_sum < b.vc_sum;
                 return a.rec->proc != b.rec->proc
                            ? a.rec->proc < b.rec->proc
                            : a.rec->seq < b.rec->seq;
               });
-    refs.erase(std::unique(refs.begin(), refs.end(),
-                           [](const Resolved& a, const Resolved& b) {
-                             return a.rec == b.rec;
-                           }),
-               refs.end());
     std::span<std::byte> base = shared.canonical->Ensure(u);
-    for (const Resolved& r : refs) {
+    const IntervalRecord* last = nullptr;
+    for (; i < j; ++i) {
+      const GcRef& r = gc_refs_[i];
+      if (r.rec == last) continue;  // several nodes referenced it
+      last = r.rec;
       r.rec->diffs[static_cast<std::size_t>(r.di)].Apply(base);
     }
   }
+  gc_refs_.clear();
 
-  // Pass 3: reclaim the dominated archive prefixes (FlattenedChains keep
-  // the lazy-diffing stamp arrays of their member records alive), then
-  // drop canonical bases no chain references any more (pooled, like
-  // twins — see CanonicalStore).
-  for (ProcId p = 0; p < nprocs; ++p) {
-    shared.archives[p]->PruneThrough(through[p]);
-  }
-  for (UnitId u = 0; u < num_units; ++u) {
+  for (UnitId u = static_cast<UnitId>(start); u < num_units;
+       u += static_cast<UnitId>(step)) {
     if (!shared.canonical->Has(u)) continue;
     bool needed = false;
     for (ProcId x = 0; x < nprocs && !needed; ++x) {
-      needed = !shared.nodes[x]->flattened_[u].empty();
+      needed = !shared.nodes[x]->flattened_[u].empty() ||
+               !shared.nodes[x]->elided_[u].empty();
     }
     if (!needed) shared.canonical->Release(u);
   }
-  ++shared.gc_passes;
+}
+
+// Reclaim phase (pass 3): prune this node's own dominated archive prefix
+// (FlattenedChains keep the lazy-diffing stamp arrays of their member
+// records alive).  Runs after the barrier window closes, concurrent with
+// resumed application threads: archives are mutex-guarded, every
+// dominated reference was converted to a chain or elided run in the
+// flatten phase, and notices_seen_ >= through everywhere, so no fault or
+// notice collection can touch the pruned prefix.
+void Node::GcPruneOwn(const VectorClock& through) {
+  // Drop the pass's shared snapshot first: records survive the prune
+  // exactly as long as a FlattenedChain retains them.
+  shared_.gc_dom_prefix[id_].clear();
+  shared_.gc_dom_ready[id_].store(0, std::memory_order_relaxed);
+  shared_.archives[id_]->PruneThrough(through[id_]);
 }
 
 void Node::CollectNotices(const VectorClock& target,
@@ -736,6 +988,7 @@ void Node::InvalidateFrom(
     const std::vector<const IntervalRecord*>& records) {
   const CostModel& cost = shared_.config.cost;
   for (const IntervalRecord* rec : records) {
+    if (rec->lock_release) tracker_.EnableInterest();
     for (UnitId unit : rec->units) {
       pending_[unit].push_back({rec->proc, rec->seq});
       const UnitState s = table_.state(unit);
@@ -791,29 +1044,73 @@ void Node::Barrier() {
       diff_request_seen_[u] = 1;
     }
   }
-  // Archive GC rides the same idle window (DESIGN.md §6): proc 0 flattens
-  // everything dominated by the PREVIOUS barrier's global clock — which
-  // every node fully processed before arriving here — while the others
-  // drain their own flags or wait at the rendezvous.  GC touches pending
-  // notices, archives, and the canonical base; the drain loop touches only
-  // each node's own request flags, so the two never conflict.  The
-  // rendezvous below then keeps any node from issuing new requests (or
-  // faults) before the collection finished, making the pass deterministic.
-  if (id_ == 0 && shared_.config.gc_interval_barriers > 0) {
-    const auto lag = static_cast<std::size_t>(
-        std::max(1, shared_.config.gc_lag_barriers));
-    if (shared_.gc_history.size() >= lag &&
-        (sync_phase_ + 1) %
-                static_cast<std::uint32_t>(
-                    shared_.config.gc_interval_barriers) ==
-            0) {
-      RunArchiveGc(shared_, shared_.gc_history.front());
+  // Archive GC rides the same idle window (DESIGN.md §6), striped over
+  // every node: each flattens all nodes' dominated pending notices for
+  // its own unit stripe, an inner rendezvous separates flattening from
+  // base application (applies read other stripes' reclaimed records), and
+  // the dominated archive prefixes are pruned after the window closes
+  // (mutex-guarded; nothing live references them).  Every node derives
+  // the same gc_due verdict from purely local state — gc_history holds
+  // min(completed barriers, lag) entries, so "history full" is exactly
+  // sync_phase_ >= lag — and proc 0 only appends to the history after the
+  // inner rendezvous proved every stripe worker took its copy of the
+  // flatten target.
+  const int gc_interval = shared_.config.gc_interval_barriers;
+  const auto gc_lag = static_cast<std::uint32_t>(
+      std::max(1, shared_.config.gc_lag_barriers));
+  const bool gc_due =
+      gc_interval > 0 && sync_phase_ >= gc_lag &&
+      (sync_phase_ + 1) % static_cast<std::uint32_t>(gc_interval) == 0;
+  bool gc_ran = false;
+  VectorClock gc_through;
+  if (gc_due) {
+    // Stable read: proc 0 appends to gc_history only after the closing
+    // rendezvous below, which happens-before every other node's next
+    // Arrive — so the deque is frozen while any node copies the front.
+    gc_through = shared_.gc_history.front();
+    // Size the pass (archives are frozen, so every node computes the
+    // same count and picks the same mode).  Light passes — steady-state
+    // barrier programs reclaim a handful of records per barrier — run
+    // serially on proc 0 inside the existing window: an inner rendezvous
+    // would cost more in wakeups than the whole pass.  Heavy lock-driven
+    // batches stripe across every idle node, with the rendezvous
+    // separating flattening from base application.
+    std::size_t dominated = 0;
+    for (ProcId p = 0; p < num_procs(); ++p) {
+      dominated += shared_.archives[p]->CountThrough(gc_through[p]);
     }
-    shared_.gc_history.push_back(res.global_vc);
-    while (shared_.gc_history.size() > lag) shared_.gc_history.pop_front();
+    gc_ran = dominated > 0;
+    constexpr std::size_t kSerialPassLimit = 1024;
+    if (gc_ran && dominated <= kSerialPassLimit) {
+      if (id_ == 0) {
+        GcFlattenStripe(gc_through, 0, 1);
+        GcApplyStripe(0, 1);
+        ++shared_.gc_passes;
+      }
+    } else if (gc_ran) {
+      GcFlattenStripe(gc_through, id_, num_procs());
+      shared_.barrier->Rendezvous();
+      GcApplyStripe(id_, num_procs());
+      if (id_ == 0) ++shared_.gc_passes;
+    }
   }
   shared_.barrier->Rendezvous();
+  // History maintenance after the rendezvous: ordered after every
+  // gc_through copy above and before any node's next barrier (its next
+  // Arrive cannot complete before proc 0's, which follows this push).
+  if (id_ == 0 && gc_interval > 0) {
+    shared_.gc_history.push_back(res.global_vc);
+    while (shared_.gc_history.size() > gc_lag) {
+      shared_.gc_history.pop_front();
+    }
+  }
+  if (gc_ran) GcPruneOwn(gc_through);
   ++sync_phase_;
+  // A completed barrier starts a fresh phase: lock-chain sub-phases are
+  // meaningful only between two barriers (stamp keys embed sync_phase_,
+  // so stale sub-phases could never collide anyway — resetting keeps all
+  // nodes aligned at phase entry, mirroring gc-free barrier programs).
+  lock_subphase_ = 0;
 
   std::size_t incoming_bytes = 0;
   std::vector<const IntervalRecord*>& records = notice_scratch_;
@@ -855,11 +1152,20 @@ void Node::AcquireLock(int lock_id) {
   }
   const CostModel& cost = shared_.config.cost;
 
+  tracker_.EnableInterest();  // lock program: read interest matters now
   LockService::Grant grant = shared_.locks->Acquire(lock_id, id_);
   if (grant.cached) {
     // Token already local: no communication, constant local cost.
     clock_.Advance(2 * kNanosPerMicro);
     return;
+  }
+  // Lock-chain-aware lazy diffing (DESIGN.md §4): a token transfer
+  // advances this node's sub-phase to the transfer's position in the
+  // service-wide hand-off order, so diff requests issued from here on are
+  // ordered after — and served from the cache of — anything materialized
+  // under the previous holder's acquires.
+  if (shared_.config.lock_chain_phases) {
+    lock_subphase_ = static_cast<std::uint32_t>(grant.chain_pos);
   }
 
   VectorClock target = vc_;
@@ -888,7 +1194,7 @@ void Node::AcquireLock(int lock_id) {
 
 void Node::ReleaseLock(int lock_id) {
   if (num_procs() == 1) return;
-  CloseInterval();  // no-op when the protocol is disabled
+  CloseInterval(/*lock_release=*/true);  // no-op when the protocol is off
   shared_.locks->Release(lock_id, id_, vc_, clock_.now());
 }
 

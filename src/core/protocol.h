@@ -73,6 +73,14 @@ struct SharedState {
   // Peer access for the lazy-diffing cost flags; filled in by Runtime
   // after node construction.
   std::vector<Node*> nodes;
+  // Striped archive GC: per-archive snapshot of the dominated prefix,
+  // built once per pass by whichever stripe worker first needs it (under
+  // the mutex) and shared read-only by the rest.  Slot p is cleared by
+  // node p in GcPruneOwn, releasing the batch's shared ownership.
+  std::mutex gc_snapshot_mutex;
+  std::vector<std::vector<std::shared_ptr<const IntervalRecord>>>
+      gc_dom_prefix;
+  std::vector<std::atomic<std::uint8_t>> gc_dom_ready;
 
   explicit SharedState(const RuntimeConfig& cfg);
 };
@@ -115,16 +123,10 @@ class Node {
   IntervalArchive& archive() { return *shared_.archives[id_]; }
 
   // Close the current open interval (normally driven by release/barrier;
-  // public for tests and for Runtime teardown).
-  void CloseInterval();
-
-  // Barrier-epoch archive GC (DESIGN.md §6), run by proc 0 inside the
-  // extended barrier window while every node is idle: flatten all archived
-  // intervals dominated by `through` (the previous barrier's global vector
-  // clock) into canonical base images, convert every node's dominated
-  // pending notices into FlattenedChains, and reclaim the records.
-  // Host-side only — modelled times and statistics are unchanged.
-  static void RunArchiveGc(SharedState& shared, const VectorClock& through);
+  // public for tests and for Runtime teardown).  `lock_release` tags the
+  // archived record as closed by a lock release — the archive GC's
+  // read-aware flattening only ever elides such records.
+  void CloseInterval(bool lock_release = false);
 
   // Flattened (reclaimed-history) chains pending for `unit` on this node —
   // observability for tests.
@@ -134,6 +136,11 @@ class Node {
   // Live pending notices for `unit` (post-GC tail) — observability.
   std::size_t pending_count(UnitId unit) const {
     return pending_[unit].size();
+  }
+  // Reclaimed-history words elided by read-aware flattening and not yet
+  // refreshed from the canonical base — observability for tests.
+  const std::vector<DiffRun>& elided_runs(UnitId unit) const {
+    return elided_[unit];
   }
 
  private:
@@ -158,6 +165,33 @@ class Node {
   // Make an invalid/updated-invalid unit readable.  Does not charge the
   // fault trap itself (callers do).
   void ValidateUnit(UnitId unit);
+
+  // Read-aware flattening fallback: copy any elided reclaimed words of
+  // `unit` from the canonical base into the image (host-side only — the
+  // elided history was never going to be read, so a mispredicted access
+  // refreshes the bytes without modelling the reclaimed deliveries).
+  void RefreshElided(UnitId unit);
+
+  // Barrier-epoch archive GC (DESIGN.md §6), orchestrated by Barrier()
+  // inside the extended idle window: flatten the dominated pending
+  // notices of every node for this node's unit stripe (serial passes
+  // use proc 0 with the full range), then — after a rendezvous for
+  // striped passes — apply the stripe's referenced diffs to the
+  // canonical bases and run the base release-check.  GcPruneOwn
+  // reclaims this node's own dominated archive prefix; it is safe to
+  // run concurrently with resumed application threads (archives are
+  // mutex-guarded and no live reference to a dominated record can
+  // exist).
+  void GcFlattenStripe(const VectorClock& through, int start, int step);
+  void GcApplyStripe(int start, int step);
+  void GcPruneOwn(const VectorClock& through);
+
+  // Lazy-diffing phase key: barrier phase in the upper half, lock-chain
+  // sub-phase in the lower (see IntervalRecord::diffed).  Barrier programs
+  // keep the sub-phase at 0, reducing to pure barrier-phase quantization.
+  std::uint64_t stamp_key() const {
+    return (std::uint64_t{sync_phase_} << 32) | lock_subphase_;
+  }
 
   // Fetch and apply all pending diffs for `units` (all must have pending
   // notices), combining requests per writer.  Records exchanges, the fault
@@ -206,6 +240,12 @@ class Node {
   // they were reclaimed.  Consumed (with any live tail) at the next fault
   // on the unit; their data is served from the shared canonical base.
   std::vector<std::vector<FlattenedChain>> flattened_;
+  // Read-aware flattening (DESIGN.md §6): canonical run list of reclaimed
+  // words the GC elided for this node (lock-release intervals none of
+  // whose words this node ever read).  Silently refreshed from the
+  // canonical base at the next fault on the unit; pins the unit's base
+  // until then.
+  std::vector<std::vector<DiffRun>> elided_;
   // Lazy-diffing cost model (see protocol.cc): a unit whose twin was just
   // diffed at a release can be re-dirtied for free — in real TreadMarks
   // the twin simply persists across the release — unless a peer has
@@ -220,6 +260,10 @@ class Node {
   std::vector<std::uint8_t> diff_request_seen_;
   // Completed barrier phases (identical on every node at any given phase).
   std::uint32_t sync_phase_ = 0;
+  // Lock-chain sub-phase: the service-wide position of this node's most
+  // recent lock token transfer (0 until the first non-cached acquire
+  // after a barrier).  Combined with sync_phase_ into stamp_key().
+  std::uint32_t lock_subphase_ = 0;
   DynamicAggregator aggregator_;
 
   VirtualClock clock_;
@@ -256,7 +300,7 @@ class Node {
       return flat != nullptr ? flat->EncodedBytes() : diff->EncodedBytes();
     }
     std::size_t PayloadWords() const {
-      return flat != nullptr ? flat->payload_words : diff->payload_words();
+      return flat != nullptr ? flat->payload_words() : diff->payload_words();
     }
   };
   struct ResolvedDiff {
@@ -272,6 +316,18 @@ class Node {
   std::vector<const Diff*> absorbed_scratch_;         // FetchUnits
   std::vector<UnitId> fetch_scratch_;                 // ValidateUnit
   std::vector<const IntervalRecord*> notice_scratch_;  // Barrier/AcquireLock
+
+  // Striped archive GC (DESIGN.md §6): the (unit, record) references this
+  // node's flatten stripe routed to the canonical base, unit-ordered
+  // (flatten walks units ascending); consumed and cleared by
+  // GcApplyStripe.  vc_sum caches the happens-before sort key.
+  struct GcRef {
+    UnitId unit;
+    const IntervalRecord* rec;
+    int di;
+    std::uint64_t vc_sum;
+  };
+  std::vector<GcRef> gc_refs_;
 };
 
 // ---------------------------------------------------------------------------

@@ -71,6 +71,10 @@ RunStats Runtime::CollectStats() const {
       t.reclaimed_intervals.load(std::memory_order_relaxed);
   stats.mem.canonical_base_peak_bytes = shared_.canonical->peak_bytes();
   stats.mem.gc_passes = shared_.gc_passes;
+  stats.mem.chains_built = t.chains_built.load(std::memory_order_relaxed);
+  stats.mem.chains_shared = t.chains_shared.load(std::memory_order_relaxed);
+  stats.mem.records_elided =
+      t.records_elided.load(std::memory_order_relaxed);
   return stats;
 }
 

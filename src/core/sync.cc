@@ -23,10 +23,14 @@ BarrierService::Result BarrierService::Arrive(ProcId proc,
   const std::uint64_t my_generation = generation_;
   if (arrived_ == num_procs_) {
     current_ = Result{pending_vc_, max_arrival_, max_bytes_};
-    // Reset for the next generation.
+    // Reset for the next generation.  pending_vc_ is part of the
+    // per-generation state: per-proc clocks happen to be monotone today,
+    // which would mask a missing reset, but a checkpoint/restore or
+    // clock-reset path must not inherit stale maxima.
     arrived_ = 0;
     max_arrival_ = 0;
     max_bytes_ = 0;
+    pending_vc_ = VectorClock(num_procs_);
     ++generation_;
     cv_.notify_all();
     return current_;
@@ -63,13 +67,16 @@ LockService::Grant LockService::Acquire(int lock_id, ProcId proc) {
   LockState& st = locks_[lock_id];
   if (st.held || !st.queue.empty()) {
     st.queue.push_back(proc);
-    cv_.wait(lock, [&] { return !st.held && st.queue.front() == proc; });
+    st.cv.wait(lock, [&] { return !st.held && st.queue.front() == proc; });
     st.queue.pop_front();
   }
   st.held = true;
   const bool cached = (st.owner == proc);
-  if (!cached) ++st.transfers;
-  Grant grant{st.release_vc, st.release_time, cached};
+  Grant grant{st.release_vc, st.release_time, cached, 0};
+  if (!cached) {
+    ++st.transfers;
+    grant.chain_pos = ++total_transfers_;
+  }
   st.owner = proc;
   return grant;
 }
@@ -83,7 +90,9 @@ void LockService::Release(int lock_id, ProcId proc, const VectorClock& vc,
   st.held = false;
   st.release_vc = vc;
   st.release_time = time;
-  cv_.notify_all();
+  // Only this lock's waiters are interested; the per-lock CV keeps a
+  // release from waking every waiter of every other lock.
+  st.cv.notify_all();
 }
 
 std::uint64_t LockService::transfers(int lock_id) const {

@@ -60,6 +60,10 @@ class BarrierService {
   std::uint64_t generation_ = 0;
   int rendezvous_arrived_ = 0;
   std::uint64_t rendezvous_generation_ = 0;
+  // Merge accumulator for the generation in flight; reset with the other
+  // per-generation state once the last arriver snapshots it, so a future
+  // checkpoint/restore or clock-reset path cannot leak stale maxima into
+  // the next generation's global clock.
   VectorClock pending_vc_;
   VirtualNanos max_arrival_ = 0;
   std::size_t max_bytes_ = 0;
@@ -77,6 +81,14 @@ class LockService {
     VectorClock release_vc;      // releaser's clock at release
     VirtualNanos release_time;   // releaser's virtual time at release
     bool cached;                 // true → caller already owned the token
+    // Position of this token transfer in the service-wide transfer order
+    // (0 for cached grants).  Strictly increasing along every individual
+    // lock's hand-off chain, so the protocol can derive lock-chain
+    // sub-phases for the lazy-diffing cost model from it (see
+    // IntervalRecord::PaysForStamp).  The order of *unrelated* transfers
+    // is host-scheduling dependent — meaningful only for lock programs,
+    // which are not bit-reproducible run to run anyway.
+    std::uint64_t chain_pos = 0;
   };
 
   // Blocks until the lock is granted (FIFO among waiters).
@@ -88,6 +100,9 @@ class LockService {
   std::uint64_t transfers(int lock_id) const;
 
  private:
+  // One CV per lock: a release wakes only that lock's waiters instead of
+  // thundering every waiter of every lock in the run (Water/TSP hold
+  // thousands of molecule/queue locks concurrently).
   struct LockState {
     bool held = false;
     ProcId owner = -1;  // last holder (token location)
@@ -95,12 +110,15 @@ class LockService {
     VectorClock release_vc;
     VirtualNanos release_time = 0;
     std::uint64_t transfers = 0;
+    std::condition_variable cv;
   };
 
   const int num_procs_;
   mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<LockState> locks_;
+  std::uint64_t total_transfers_ = 0;  // service-wide transfer order
+  // deque: LockState holds a condition_variable (immovable); deque
+  // constructs elements in place and never relocates them.
+  std::deque<LockState> locks_;
 };
 
 }  // namespace dsm

@@ -15,6 +15,7 @@
 // images and reclaims the records.  Chains of reclaimed intervals that
 // some node still had pending survive as FlattenedChains — payload-free
 // run lists whose data is served from the canonical base at fault time.
+// Identical chains pending at several nodes share one immutable ChainBody.
 #pragma once
 
 #include <atomic>
@@ -35,48 +36,56 @@ struct IntervalRecord {
   ProcId proc = -1;
   Seq seq = 0;
   VectorClock vc;  // clock at close; vc[proc] == seq
+  // True when the interval was closed by a lock release (as opposed to a
+  // barrier arrival).  The archive GC's read-aware flattening only elides
+  // lock-release records: barrier programs are bit-reproducible and their
+  // GC must stay perfectly invisible, while lock programs are host-order
+  // dependent under any setting (DESIGN.md §6).
+  bool lock_release = false;
   std::vector<UnitId> units;
   std::vector<Diff> diffs;  // parallel to `units`
-  // Lazy-diffing cost model: diffed[i] holds 1 + the barrier phase in
+  // Lazy-diffing cost model: diffed[i] holds 1 + the *phase key* under
   // which the diff of units[i] was first materialized (0 = never).
-  // Requesters from LATER phases are served from the writer's diff cache
-  // for free; the first requester and any requester racing it within the
-  // same phase each pay the twin-scan cost (modelled as concurrent scans
-  // at the server).  Phase granularity keeps the charge independent of
-  // host thread scheduling, so modelled time replays bit-for-bit.  Known
-  // coarseness: phases advance only at barriers, so lock-ordered
-  // requesters between two barriers are all "same phase" and each pay —
-  // conservative for migratory data (lock programs cannot replay
-  // bit-for-bit anyway, since lock transfer order is host-scheduled).  (The
-  // Diff objects themselves are always materialized eagerly for
-  // bookkeeping — archived records must be immutable for lock-free peer
-  // reads.)
+  // Requesters under a LATER key are served from the writer's diff cache
+  // for free; the first requester and any requester racing it under the
+  // same key each pay the twin-scan cost (modelled as concurrent scans at
+  // the server).  The key combines the barrier phase (upper 32 bits) with
+  // a lock-chain sub-phase (lower 32 bits, see LockService::Grant::
+  // chain_pos): barrier programs never advance the sub-phase, so their
+  // charge stays quantized to barrier phases and replays bit-for-bit;
+  // lock-ordered requesters between two barriers advance it along the
+  // lock transfer order, so a requester ordered after the materializing
+  // acquire is served from cache — sharper for migratory data, and
+  // host-order dependent only for lock programs, which cannot replay
+  // bit-for-bit anyway.  (The Diff objects themselves are always
+  // materialized eagerly for bookkeeping — archived records must be
+  // immutable for lock-free peer reads.)
   //
   // Shared ownership: when the record is reclaimed by archive GC, any
   // FlattenedChain built from it keeps the stamp array alive, so the
   // first-requester-pays decision replays identically whether or not the
   // record's payload was flattened away in the meantime.
-  std::shared_ptr<std::atomic<std::uint32_t>[]> diffed;
+  std::shared_ptr<std::atomic<std::uint64_t>[]> diffed;
 
   // Returns nullptr when this interval did not modify `unit`.
   const Diff* DiffFor(UnitId unit) const;
   // Index of `unit` within units/diffs, or -1.
   int IndexOf(UnitId unit) const;
-  // True iff a requester in barrier phase `phase` pays the scan cost for
-  // materializing units[i]; the first caller stamps the phase.
-  bool PaysForDiff(int i, std::uint32_t phase) const {
-    return PaysForStamp(diffed[i], phase);
+  // True iff a requester under phase key `key` pays the scan cost for
+  // materializing units[i]; the first caller stamps the key.
+  bool PaysForDiff(int i, std::uint64_t key) const {
+    return PaysForStamp(diffed[i], key);
   }
 
   // The stamp protocol, shared with FlattenedChain's retained stamps.
-  static bool PaysForStamp(std::atomic<std::uint32_t>& stamp,
-                           std::uint32_t phase) {
-    std::uint32_t expected = 0;
-    if (stamp.compare_exchange_strong(expected, phase + 1,
+  static bool PaysForStamp(std::atomic<std::uint64_t>& stamp,
+                           std::uint64_t key) {
+    std::uint64_t expected = 0;
+    if (stamp.compare_exchange_strong(expected, key + 1,
                                       std::memory_order_relaxed)) {
       return true;
     }
-    return expected == phase + 1;
+    return expected == key + 1;
   }
 
   // Serialized size of this interval's write notices on a sync message
@@ -97,51 +106,143 @@ struct IntervalRecord {
 // One lazy-diffing stamp retained from a reclaimed record (see
 // IntervalRecord::diffed): the shared array plus the unit's index in it.
 struct StampRef {
-  std::shared_ptr<std::atomic<std::uint32_t>[]> stamps;
+  std::shared_ptr<std::atomic<std::uint64_t>[]> stamps;
   std::uint32_t index = 0;
 };
 
-// A coalesced chain of reclaimed intervals of ONE writer for ONE unit that
-// some node still had pending when the chain was flattened into the
-// canonical base image.  It preserves everything the fault path needs to
-// replay bit-identical modelled costs without the records' payload:
+// Immutable cons-list of retained stamps, newest-first.  A chain extension
+// prepends one node and SHARES the tail with every other copy of the
+// body, so repeatedly-extended cold chains stay O(1) per pass — a flat
+// vector would be re-copied on every copy-on-write clone, going quadratic
+// in pass count (the stamp set only grows).  Order is immaterial: the
+// fault path visits every member stamp.
+struct StampNode {
+  StampRef ref;
+  std::shared_ptr<const StampNode> next;
+};
+
+// The immutable bulk of a flattened chain, shared (shared_ptr) by every
+// node whose pending set produced the identical chain — the GC builds it
+// once per unique (unit, pending-history) and hands copies of the cheap
+// per-node header out (DESIGN.md §6).  Holds everything the fault path
+// needs to replay bit-identical modelled costs without the reclaimed
+// records' payload:
 //
 //   * the canonical run list of the chain's merged diff (wire-size and
 //     word-delivery accounting; the data itself is copied from the
 //     canonical base at apply time),
-//   * the head/tail interval identity (happens-before ordering against
-//     live records and the chain-absorption safety check),
+//   * the tail's close-time clock (happens-before apply ordering),
 //   * the lazy-diffing stamps of every flattened member (the
-//     first-requester-pays-the-scan decision).
+//     first-requester-pays-the-scan decision; the atomics themselves live
+//     in the reclaimed records' arrays and are global across nodes).
+struct ChainBody {
+  std::vector<DiffRun> runs;      // merged run list, canonical, payload-free
+  std::size_t payload_words = 0;  // == Diff::RunWords(runs), cached
+  VectorClock last_vc;            // tail close-time clock (apply ordering)
+  // One per flattened member interval, newest-first, tail-shared.
+  std::shared_ptr<const StampNode> stamps;
+};
+
+// A coalesced chain of reclaimed intervals of ONE writer for ONE unit that
+// some node still had pending when the chain was flattened into the
+// canonical base image.  Two representations behind one header:
+//
+//   * single-record chain (`rec` set): the chain IS one reclaimed
+//     interval — it retains the record itself (shared with the archive's
+//     other referents), and every accessor reads straight through it.
+//     Building one costs a shared_ptr copy, nothing more; the wire
+//     accounting is definitionally identical to a merged chain of one
+//     member.  The overwhelmingly common case for lock-heavy programs,
+//     whose per-molecule critical sections produce single-unit records.
+//   * merged chain (`body` set): two or more members coalesced into a
+//     shared ChainBody (runs merged payload-free, stamps cons-listed).
 struct FlattenedChain {
   ProcId writer = -1;
-  Seq first_seq = 0;       // chain head, for the absorption safety check
-  Seq last_seq = 0;        // chain tail…
-  VectorClock last_vc;     // …and its close-time clock (apply ordering)
+  Seq first_seq = 0;  // chain head, for the absorption safety check
+  Seq last_seq = 0;   // chain tail
   // A reclaimed foreign interval is ordered after the chain's head: no
   // later interval of `writer` may ever be absorbed into this chain
   // (matches the fault path's per-record safety check, whose reclaimed
   // witnesses are gone).
   bool blocked = false;
-  std::vector<DiffRun> runs;     // merged run list, canonical, payload-free
-  std::size_t payload_words = 0;  // == Diff::RunWords(runs), cached
-  std::vector<StampRef> stamps;  // one per flattened member interval
+  std::shared_ptr<const IntervalRecord> rec;  // single-record form
+  int di = -1;                                // unit's index within *rec
+  std::shared_ptr<ChainBody> body;            // merged form (rec == null)
+
+  const Diff& rec_diff() const {
+    return rec->diffs[static_cast<std::size_t>(di)];
+  }
+  const std::vector<DiffRun>& runs() const {
+    return rec != nullptr ? rec_diff().runs() : body->runs;
+  }
+  std::size_t payload_words() const {
+    return rec != nullptr ? rec_diff().payload_words()
+                          : body->payload_words;
+  }
+  const VectorClock& last_vc() const {
+    return rec != nullptr ? rec->vc : body->last_vc;
+  }
+
+  // Visit every member stamp (the first-requester-pays decision).
+  template <typename Fn>
+  void ForEachStamp(Fn&& fn) const {
+    if (rec != nullptr) {
+      fn(rec->diffed[static_cast<std::size_t>(di)]);
+      return;
+    }
+    for (const StampNode* s = body->stamps.get(); s != nullptr;
+         s = s->next.get()) {
+      fn(s->ref.stamps[s->ref.index]);
+    }
+  }
+
+  // Mutable merged body for tail extension (GC absorption or fault-path
+  // live absorption): converts a single-record chain to a merged body,
+  // and clones a body other nodes still share (copy-on-write).
+  ChainBody& MutableBody() {
+    if (rec != nullptr) {
+      auto b = std::make_shared<ChainBody>();
+      b->runs = rec_diff().runs();
+      b->payload_words = rec_diff().payload_words();
+      b->last_vc = rec->vc;
+      b->stamps = std::make_shared<const StampNode>(StampNode{
+          StampRef{rec->diffed, static_cast<std::uint32_t>(di)}, nullptr});
+      body = std::move(b);
+      rec = nullptr;
+      di = -1;
+    } else if (body.use_count() > 1) {
+      body = std::make_shared<ChainBody>(*body);
+    }
+    return *body;
+  }
 
   // Wire size of the chain's merged diff, matching Diff::EncodedBytes().
   std::size_t EncodedBytes() const {
-    return Diff::kHeaderBytes + runs.size() * Diff::kRunDescriptorBytes +
-           payload_words * kWordBytes;
+    return rec != nullptr
+               ? rec_diff().EncodedBytes()
+               : Diff::kHeaderBytes +
+                     body->runs.size() * Diff::kRunDescriptorBytes +
+                     body->payload_words * kWordBytes;
   }
 };
 
 // Footprint counters shared by all archives of a run (updated under each
 // archive's own mutex; atomics make the cross-archive sums race-free).
+// The chain counters are accumulated by the GC's flatten workers — one
+// per node in striped passes — inside the idle barrier window.
 struct ArchiveTelemetry {
   std::atomic<std::uint64_t> live_intervals{0};
   std::atomic<std::uint64_t> peak_live_intervals{0};
   std::atomic<std::uint64_t> live_bytes{0};
   std::atomic<std::uint64_t> peak_live_bytes{0};
   std::atomic<std::uint64_t> reclaimed_intervals{0};
+  // Archive-GC chain economics (DESIGN.md §6): bodies actually
+  // constructed, chain headers adopted from the intern cache instead of
+  // rebuilt, and dominated record references skipped entirely by
+  // read-aware flattening.
+  std::atomic<std::uint64_t> chains_built{0};
+  std::atomic<std::uint64_t> chains_shared{0};
+  std::atomic<std::uint64_t> records_elided{0};
 
   void OnAppend(std::uint64_t bytes);
   void OnReclaim(std::uint64_t records, std::uint64_t bytes);
@@ -168,15 +269,25 @@ class IntervalArchive {
   // All records with from < seq <= to, in increasing seq order.
   std::vector<const IntervalRecord*> Range(Seq from, Seq to) const;
 
+  // Shared-ownership variant of Range (archive GC: single-record chains
+  // retain the reclaimed record itself).
+  std::vector<std::shared_ptr<const IntervalRecord>> RangeShared(
+      Seq from, Seq to) const;
+
   // Reclaim every record with seq <= through (always a prefix: seqs are
-  // appended in increasing order).  Caller must guarantee no pointer to a
-  // pruned record is still in use — the GC converts all such references to
-  // FlattenedChains first.  Returns the number of records reclaimed.
+  // appended in increasing order).  Records survive reclamation exactly
+  // as long as some FlattenedChain retains them (shared ownership); the
+  // GC converts every other reference first.  Returns the number of
+  // records reclaimed.
   std::size_t PruneThrough(Seq through);
 
   // Smallest seq still archived (0 when empty) — pruned seqs can never be
   // Find()/Range()d again.
   Seq min_retained_seq() const;
+
+  // Number of archived records with seq <= through (O(log n)).  The GC
+  // sizes a pass with it to pick serial vs striped execution.
+  std::size_t CountThrough(Seq through) const;
 
   void set_telemetry(ArchiveTelemetry* t) { telemetry_ = t; }
 
@@ -185,7 +296,7 @@ class IntervalArchive {
 
  private:
   mutable std::mutex mutex_;
-  std::deque<IntervalRecord> records_;
+  std::deque<std::shared_ptr<IntervalRecord>> records_;
   ArchiveTelemetry* telemetry_ = nullptr;
 };
 

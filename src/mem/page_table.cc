@@ -26,6 +26,7 @@ CanonicalStore::CanonicalStore(std::size_t num_units, std::size_t unit_bytes)
 
 std::span<std::byte> CanonicalStore::Ensure(UnitId unit) {
   if (bases_[unit] == nullptr) {
+    std::lock_guard lock(pool_mutex_);
     if (!free_bases_.empty()) {
       bases_[unit] = std::move(free_bases_.back());
       free_bases_.pop_back();
@@ -46,8 +47,20 @@ std::span<const std::byte> CanonicalStore::base(UnitId unit) const {
   return {bases_[unit].get(), unit_bytes_};
 }
 
+void CanonicalStore::CopyRuns(UnitId unit, std::span<std::byte> dst,
+                              const std::vector<DiffRun>& runs) const {
+  const std::span<const std::byte> src = base(unit);
+  for (const DiffRun& run : runs) {
+    const std::size_t off = std::size_t{run.word_offset} * kWordBytes;
+    const std::size_t len = std::size_t{run.word_count} * kWordBytes;
+    DSM_DCHECK(off + len <= unit_bytes_);
+    std::memcpy(dst.data() + off, src.data() + off, len);
+  }
+}
+
 void CanonicalStore::Release(UnitId unit) {
   if (bases_[unit] == nullptr) return;
+  std::lock_guard lock(pool_mutex_);
   free_bases_.push_back(std::move(bases_[unit]));
   --live_count_;
 }

@@ -19,9 +19,11 @@
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
+#include "mem/diff.h"
 #include "mem/types.h"
 
 namespace dsm {
@@ -39,9 +41,13 @@ const char* UnitStateName(UnitState s);
 // snapshot per consistency unit that holds the contents implied by every
 // reclaimed interval, applied in happens-before order on top of the
 // zero-initialized heap.  FlattenedChains carry only run lists; at fault
-// time their data is copied from here.  Shared across nodes, touched only
-// inside the idle barrier window (GC) and by the faulting node itself
-// (reads of an immutable-between-barriers image), so no locking is needed.
+// time their data is copied from here.  Shared across nodes: mutation
+// (Ensure/Release) happens only inside the idle barrier window, where the
+// striped GC workers allocate and release concurrently — the buffer pool
+// and its counters are mutex-guarded.  Each unit's slot is touched by
+// exactly one worker (unit stripe), and fault-time reads happen only
+// outside the window against an immutable-between-barriers image, so reads
+// need no locking.
 //
 // Buffers are allocated lazily (only units that ever had a pending chain
 // flattened pay) and recycled through a free pool, like twins: when a GC
@@ -61,6 +67,15 @@ class CanonicalStore {
   // Read-only view; unit must have a base.
   std::span<const std::byte> base(UnitId unit) const;
 
+  // Copy the words named by `runs` from the unit's base image into `dst`
+  // (a unit-sized buffer).  The one primitive behind both flattened-chain
+  // application and the read-aware-flattening silent refresh (DESIGN.md
+  // §6): the base holds the newest dominated value of every flattened
+  // word, so any copy of a run from it yields the bytes the reclaimed
+  // history would have produced.
+  void CopyRuns(UnitId unit, std::span<std::byte> dst,
+                const std::vector<DiffRun>& runs) const;
+
   // Return the unit's buffer to the free pool (no-op without a base).
   void Release(UnitId unit);
 
@@ -73,6 +88,9 @@ class CanonicalStore {
 
  private:
   std::size_t unit_bytes_;
+  // Guards the pool and counters against concurrent GC workers; per-unit
+  // slots themselves are stripe-exclusive.
+  mutable std::mutex pool_mutex_;
   std::vector<std::unique_ptr<std::byte[]>> bases_;
   std::vector<std::unique_ptr<std::byte[]>> free_bases_;
   std::size_t live_count_ = 0;

@@ -52,6 +52,71 @@ TEST(DynamicAggregator, GroupsCapAtMaxPages) {
   EXPECT_TRUE(agg.GroupOf(6).empty());
 }
 
+// Regroup-while-dissolving: migrating a page out of a two-member group
+// dissolves the survivor's group mid-regroup and frees its id, which the
+// SAME OnSynchronization pass may immediately reuse for a new group.  The
+// membership invariant (group_of_[u] == g ⟺ u ∈ groups_[g]) must hold
+// throughout — the hardened RemoveFromGroup fails loudly if it breaks.
+TEST(DynamicAggregator, RegroupWhileDissolvingKeepsInvariant) {
+  DynamicAggregator agg(16, 2);
+  // Epoch 1: two groups, {0,1} and {2,3}.
+  agg.RecordAccess(0);
+  agg.RecordAccess(1);
+  agg.RecordAccess(2);
+  agg.RecordAccess(3);
+  agg.OnSynchronization();
+  ASSERT_EQ(agg.GroupOf(0).size(), 2u);
+  ASSERT_EQ(agg.GroupOf(2).size(), 2u);
+  EXPECT_EQ(agg.num_groups(), 2u);
+
+  // Epoch 2: {0,2} regroups — removing 0 dissolves {0,1} (1 unmapped,
+  // id freed), removing 2 dissolves {2,3}; the freed ids are reused by
+  // the new groups formed in the same pass.
+  agg.RecordAccess(0);
+  agg.RecordAccess(2);
+  agg.RecordAccess(4);
+  agg.RecordAccess(5);
+  agg.OnSynchronization();
+  EXPECT_TRUE(agg.GroupOf(1).empty());
+  EXPECT_TRUE(agg.GroupOf(3).empty());
+  ASSERT_EQ(agg.GroupOf(0).size(), 2u);
+  EXPECT_EQ(agg.GroupOf(0)[0], 0u);
+  EXPECT_EQ(agg.GroupOf(0)[1], 2u);
+  ASSERT_EQ(agg.GroupOf(4).size(), 2u);
+  EXPECT_EQ(agg.num_groups(), 2u);
+
+  // Epoch 3: the dissolved singletons are re-groupable — no stale group
+  // state survives.
+  agg.RecordAccess(1);
+  agg.RecordAccess(3);
+  agg.OnSynchronization();
+  ASSERT_EQ(agg.GroupOf(1).size(), 2u);
+  EXPECT_EQ(agg.GroupOf(1)[1], 3u);
+  EXPECT_EQ(agg.num_groups(), 3u);
+}
+
+// A prefetch-split (OnSynchronization phase a) that dissolves a group
+// whose survivor is regrouped in the same pass (phase b) must leave
+// consistent state: the survivor joins its new group cleanly.
+TEST(DynamicAggregator, PrefetchSplitThenRegroupSamePass) {
+  DynamicAggregator agg(16, 2);
+  agg.RecordAccess(6);
+  agg.RecordAccess(7);
+  agg.OnSynchronization();
+  ASSERT_EQ(agg.GroupOf(6).size(), 2u);
+
+  // 7 was prefetched but never accessed → split out, dissolving the
+  // group; 6 itself was accessed and regroups with 8.
+  agg.NotifyPrefetched(7);
+  agg.RecordAccess(6);
+  agg.RecordAccess(8);
+  agg.OnSynchronization();
+  EXPECT_TRUE(agg.GroupOf(7).empty());
+  ASSERT_EQ(agg.GroupOf(6).size(), 2u);
+  EXPECT_EQ(agg.GroupOf(6)[1], 8u);
+  EXPECT_EQ(agg.num_groups(), 1u);
+}
+
 TEST(DynamicAggregator, RepeatedAccessRecordedOncePerInterval) {
   DynamicAggregator agg(16, 4);
   agg.RecordAccess(2);
