@@ -1,8 +1,9 @@
 // Host wall-clock benchmark gate for the simulator's hot paths.
 //
 // Runs the conformance applications at scaled-up (paper-sized) datasets
-// under the three aggregation modes of the sweep ({4 K, 16 K, Dyn} × LRC)
-// and reports, per row:
+// under the three aggregation modes of the sweep, for both protocol
+// backends ({4 K, 16 K, Dyn} × {LRC, HLRC}; filter with --backend=), and
+// reports, per row:
 //
 //   * host wall-clock (what engine optimizations are allowed to change),
 //   * modelled execution time (what they must NOT change),
@@ -65,10 +66,27 @@ std::uint64_t ModelledFingerprint(double result, const RunStats& stats) {
         c.group_prefetch_units}) {
     fp.Mix(v);
   }
+  // HLRC home counters, mixed only when engaged: they are always zero
+  // under the LRC backend, and unconditionally mixing the new fields
+  // would have changed every fingerprint committed before the HLRC
+  // backend existed.
+  if (c.home_flush_messages + c.home_flushes + c.home_fetches > 0) {
+    for (std::uint64_t v : {c.home_flush_messages, c.home_flushes,
+                            c.home_flush_bytes, c.home_fetches,
+                            c.home_fetch_bytes}) {
+      fp.Mix(v);
+    }
+  }
   for (std::size_t k = 0; k < kNumMessageKinds; ++k) {
     const auto kind = static_cast<MessageKind>(k);
-    fp.Mix(stats.net.messages(kind));
-    fp.Mix(stats.net.bytes(kind));
+    const std::uint64_t msgs = stats.net.messages(kind);
+    const std::uint64_t bytes = stats.net.bytes(kind);
+    // Same back-compat rule for the message kinds appended for HLRC:
+    // zero entries of the new kinds are skipped so pre-HLRC rows hash
+    // exactly as before.
+    if (k >= kFirstHomeMessageKind && msgs == 0 && bytes == 0) continue;
+    fp.Mix(msgs);
+    fp.Mix(bytes);
   }
   return fp.value();
 }
@@ -104,8 +122,21 @@ const BenchScenario kScenarios[] = {
     {"Water", "512", false},      {"TSP", "11-city", false},
 };
 
+// Protocol backends benched side by side: the paper's LRC and the
+// home-based counterpart (DESIGN.md §7).  The reference oracle is a
+// correctness tool, not a performance point, so it is not swept here.
+struct BackendPoint {
+  const char* label;
+  BackendKind backend;
+};
+
+const BackendPoint kBackends[] = {
+    {"LRC", BackendKind::kLrc},
+    {"HLRC", BackendKind::kHlrc},
+};
+
 struct Row {
-  std::string app, dataset, mode;
+  std::string app, dataset, mode, backend;
   bool stable = false;
   double wall_ms = 0;
   double modelled_ms = 0;
@@ -114,12 +145,13 @@ struct Row {
   MemoryFootprint mem;
 };
 
-Row RunCell(const BenchScenario& s, const ModePoint& mode, int num_procs,
-            int gc_interval) {
+Row RunCell(const BenchScenario& s, const ModePoint& mode,
+            const BackendPoint& backend, int num_procs, int gc_interval) {
   RuntimeConfig cfg;
   cfg.num_procs = num_procs;
   cfg.aggregation = mode.mode;
   cfg.pages_per_unit = mode.pages_per_unit;
+  cfg.backend = backend.backend;
   cfg.gc_interval_barriers = gc_interval;
 
   auto app = apps::MakeApp(s.app, s.dataset);
@@ -131,6 +163,7 @@ Row RunCell(const BenchScenario& s, const ModePoint& mode, int num_procs,
   row.app = s.app;
   row.dataset = s.dataset;
   row.mode = mode.label;
+  row.backend = backend.label;
   row.stable = s.stable;
   row.wall_ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -144,7 +177,7 @@ Row RunCell(const BenchScenario& s, const ModePoint& mode, int num_procs,
 // Minimal reader for the JSON this binary itself writes (one row object
 // per line): extracts (app, dataset, mode, stable, wall_ms) per row.
 struct BaselineRow {
-  std::string app, dataset, mode;
+  std::string app, dataset, mode, backend;
   bool stable = false;
   double wall_ms = 0;
 };
@@ -170,6 +203,9 @@ std::vector<BaselineRow> ReadBaseline(const std::string& path) {
     r.app = field(line, "\"app\": \"");
     r.dataset = field(line, "\"dataset\": \"");
     r.mode = field(line, "\"mode\": \"");
+    // Baselines written before the backend dimension existed are all LRC.
+    r.backend = field(line, "\"backend\": \"");
+    if (r.backend.empty()) r.backend = "LRC";
     r.stable = std::strstr(line, "\"stable\": true") != nullptr;
     const char* w = std::strstr(line, "\"wall_ms\": ");
     if (w != nullptr) r.wall_ms = std::atof(w + 11);
@@ -190,14 +226,16 @@ int CompareToBaseline(const std::vector<Row>& rows,
   for (const Row& r : rows) {
     const BaselineRow* base = nullptr;
     for (const BaselineRow& b : baseline) {
-      if (b.app == r.app && b.dataset == r.dataset && b.mode == r.mode) {
+      if (b.app == r.app && b.dataset == r.dataset && b.mode == r.mode &&
+          b.backend == r.backend) {
         base = &b;
         break;
       }
     }
     if (base == nullptr) {
-      std::printf("baseline: %s/%s/%s not in baseline (new row?)\n",
-                  r.app.c_str(), r.dataset.c_str(), r.mode.c_str());
+      std::printf("baseline: %s/%s/%s/%s not in baseline (new row?)\n",
+                  r.app.c_str(), r.dataset.c_str(), r.mode.c_str(),
+                  r.backend.c_str());
       continue;
     }
     const double ratio = base->wall_ms > 0 ? r.wall_ms / base->wall_ms : 1.0;
@@ -205,10 +243,11 @@ int CompareToBaseline(const std::vector<Row>& rows,
     const bool regressed = gated && ratio > 1.0 + tolerance;
     if (regressed) ++regressions;
     if (regressed || ratio > 1.0 + tolerance) {
-      std::printf("baseline: %-8s %-10s %-4s %8.1f -> %8.1f ms (%+.0f%%)%s\n",
-                  r.app.c_str(), r.dataset.c_str(), r.mode.c_str(),
-                  base->wall_ms, r.wall_ms, (ratio - 1.0) * 100,
-                  regressed ? "  REGRESSION" : "  (unstable, not gated)");
+      std::printf(
+          "baseline: %-8s %-10s %-4s %-4s %8.1f -> %8.1f ms (%+.0f%%)%s\n",
+          r.app.c_str(), r.dataset.c_str(), r.mode.c_str(),
+          r.backend.c_str(), base->wall_ms, r.wall_ms, (ratio - 1.0) * 100,
+          regressed ? "  REGRESSION" : "  (unstable, not gated)");
     }
   }
   if (regressions > 0) {
@@ -233,14 +272,14 @@ void WriteJson(const std::vector<Row>& rows, const std::string& path) {
     std::fprintf(
         f,
         "    {\"app\": \"%s\", \"dataset\": \"%s\", \"mode\": "
-        "\"%s\", \"stable\": %s, \"wall_ms\": %.3f, "
+        "\"%s\", \"backend\": \"%s\", \"stable\": %s, \"wall_ms\": %.3f, "
         "\"modelled_ms\": %.6f, \"result\": %.17g, "
         "\"fingerprint\": \"%016llx\", "
         "\"peak_live_intervals\": %llu, \"peak_archive_bytes\": %llu, "
         "\"reclaimed_intervals\": %llu, \"canonical_base_bytes\": %llu, "
         "\"gc_passes\": %llu, \"chains_built\": %llu, "
         "\"chains_shared\": %llu, \"records_elided\": %llu}%s\n",
-        r.app.c_str(), r.dataset.c_str(), r.mode.c_str(),
+        r.app.c_str(), r.dataset.c_str(), r.mode.c_str(), r.backend.c_str(),
         r.stable ? "true" : "false", r.wall_ms, r.modelled_ms, r.result,
         static_cast<unsigned long long>(r.fingerprint),
         static_cast<unsigned long long>(r.mem.peak_live_intervals),
@@ -270,7 +309,7 @@ int main(int argc, char** argv) {
 #endif
   int num_procs = 8;
   int gc_interval = dsm::RuntimeConfig{}.gc_interval_barriers;
-  std::string app_filter, mode_filter, baseline_path;
+  std::string app_filter, mode_filter, backend_filter, baseline_path;
   bool explicit_out = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) {
@@ -297,6 +336,11 @@ int main(int argc, char** argv) {
     //   --app=MGS --mode=16K
     if (std::strncmp(argv[i], "--app=", 6) == 0) app_filter = argv[i] + 6;
     if (std::strncmp(argv[i], "--mode=", 7) == 0) mode_filter = argv[i] + 7;
+    // Backend filter is an exact label ("LRC" / "HLRC"): substring
+    // matching would make --backend=LRC select both trajectories.
+    if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      backend_filter = argv[i] + 10;
+    }
   }
   auto matches = [](const std::string& filter, const char* value) {
     return filter.empty() || std::string(value).find(filter) !=
@@ -304,29 +348,36 @@ int main(int argc, char** argv) {
   };
 
   std::vector<Row> rows;
-  std::printf("%-8s %-10s %-4s %10s %14s  %-16s %-6s %12s %14s\n", "app",
-              "dataset", "cfg", "wall(ms)", "modelled(ms)", "fingerprint",
-              "stable", "peak_ivals", "peak_arch_KB");
-  for (const BenchScenario& s : kScenarios) {
-    if (!matches(app_filter, s.app)) continue;
-    for (const ModePoint& mode : kModes) {
-      if (!matches(mode_filter, mode.label)) continue;
-      Row row = RunCell(s, mode, num_procs, gc_interval);
-      std::printf("%-8s %-10s %-4s %10.1f %14.3f  %016llx %-6s %12llu %14llu\n",
-                  row.app.c_str(), row.dataset.c_str(), row.mode.c_str(),
-                  row.wall_ms, row.modelled_ms,
-                  static_cast<unsigned long long>(row.fingerprint),
-                  row.stable ? "yes" : "no",
-                  static_cast<unsigned long long>(
-                      row.mem.peak_live_intervals),
-                  static_cast<unsigned long long>(
-                      row.mem.peak_archive_bytes / 1024));
-      rows.push_back(std::move(row));
+  std::printf("%-8s %-10s %-4s %-4s %10s %14s  %-16s %-6s %12s %14s\n",
+              "app", "dataset", "cfg", "bknd", "wall(ms)", "modelled(ms)",
+              "fingerprint", "stable", "peak_ivals", "peak_arch_KB");
+  for (const BackendPoint& backend : kBackends) {
+    if (!backend_filter.empty() && backend_filter != backend.label) {
+      continue;
+    }
+    for (const BenchScenario& s : kScenarios) {
+      if (!matches(app_filter, s.app)) continue;
+      for (const ModePoint& mode : kModes) {
+        if (!matches(mode_filter, mode.label)) continue;
+        Row row = RunCell(s, mode, backend, num_procs, gc_interval);
+        std::printf(
+            "%-8s %-10s %-4s %-4s %10.1f %14.3f  %016llx %-6s %12llu "
+            "%14llu\n",
+            row.app.c_str(), row.dataset.c_str(), row.mode.c_str(),
+            row.backend.c_str(), row.wall_ms, row.modelled_ms,
+            static_cast<unsigned long long>(row.fingerprint),
+            row.stable ? "yes" : "no",
+            static_cast<unsigned long long>(row.mem.peak_live_intervals),
+            static_cast<unsigned long long>(
+                row.mem.peak_archive_bytes / 1024));
+        rows.push_back(std::move(row));
+      }
     }
   }
   // A filtered (or non-default-GC) run is a partial sweep: never let it
   // silently clobber the tracked full-sweep baseline at the default path.
   const bool partial = !app_filter.empty() || !mode_filter.empty() ||
+                       !backend_filter.empty() ||
                        gc_interval !=
                            dsm::RuntimeConfig{}.gc_interval_barriers;
   // Read the baseline BEFORE writing results (--out may point at the

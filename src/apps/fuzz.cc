@@ -1,0 +1,96 @@
+#include "apps/fuzz.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace dsm::apps {
+
+FuzzParams FuzzDataset(const std::string& label) {
+  // Spans are chosen to cross several 16 KB units (so static aggregation
+  // has something to aggregate) while keeping the conformance cell fast.
+  if (label == "tiny") return {"tiny", 12, 10, 300, 8, 0x5eedf0ccull};
+  if (label == "wide") return {"wide", 64, 8, 500, 16, 0x5eedf0cdull};
+  DSM_CHECK(false) << "unknown Fuzz dataset " << label;
+  return {};
+}
+
+Fuzz::Fuzz(FuzzParams params) : params_(std::move(params)) {}
+
+std::size_t Fuzz::heap_bytes() const {
+  return params_.span_pages * kBasePageBytes + (96u << 10);
+}
+
+void Fuzz::Setup(Runtime& rt) {
+  const std::size_t span_words =
+      params_.span_pages * kBasePageBytes / sizeof(std::int32_t);
+  span_ = rt.AllocUnitAligned<std::int32_t>(span_words, "fuzz_span");
+  // Accumulators deliberately share one page: cross-lock false sharing is
+  // part of the pattern being fuzzed (each word is still touched only
+  // under its own lock, so there is no data race).
+  acc_ = rt.AllocUnitAligned<std::int32_t>(
+      static_cast<std::size_t>(params_.num_locks), "fuzz_acc");
+  reducer_.Setup(rt, "fuzz_sum");
+}
+
+void Fuzz::Body(Proc& p) {
+  const std::size_t span_words =
+      params_.span_pages * kBasePageBytes / sizeof(std::int32_t);
+  const std::size_t half = span_words / 2;
+  const auto nprocs = static_cast<std::size_t>(p.nprocs());
+  const auto id = static_cast<std::size_t>(p.id());
+  // My words in a half: word-interleaved ownership (w % nprocs == id) —
+  // adjacent words belong to different processors, the worst false
+  // sharing any consistency unit size can see.
+  const std::size_t owned = half / nprocs;
+  DSM_CHECK_GT(owned, 0u);
+
+  Xoshiro256 rng(params_.seed ^
+                 (0x9e3779b97f4a7c15ull * (id + 1)));
+  double read_sum = 0.0;
+  std::uint64_t op_index = 0;
+
+  for (int phase = 0; phase < params_.phases; ++phase) {
+    // Halves swap roles every phase: reads only target the half nobody
+    // writes this phase, so every read is ordered after its writer's
+    // barrier release and returns a schedule-independent value.
+    const std::size_t write_base = (phase % 2 == 0) ? 0 : half;
+    const std::size_t read_base = half - write_base;
+    for (int op = 0; op < params_.ops_per_phase; ++op, ++op_index) {
+      const std::uint64_t kind = rng.UniformInt(100);
+      if (kind < 45) {
+        const std::size_t w = read_base + rng.UniformInt(half);
+        read_sum += static_cast<double>(p.Read(span_, w));
+      } else if (kind < 90) {
+        const std::size_t w =
+            write_base + rng.UniformInt(owned) * nprocs + id;
+        const auto value = static_cast<std::int32_t>(
+            (w * 7 + static_cast<std::size_t>(phase) * 13 + id * 3) % 1021);
+        p.Write(span_, w, value);
+      } else {
+        const auto lock = static_cast<int>(
+            rng.UniformInt(static_cast<std::uint64_t>(params_.num_locks)));
+        const auto delta = static_cast<std::int32_t>(op_index % 7 + 1);
+        p.Lock(lock);
+        const std::int32_t v =
+            p.Read(acc_, static_cast<std::size_t>(lock));
+        p.Write(acc_, static_cast<std::size_t>(lock), v + delta);
+        p.Unlock(lock);
+      }
+      p.Compute(3);
+    }
+    p.Barrier();
+  }
+
+  reducer_.Contribute(p, read_sum);
+  p.Barrier();
+  // Every processor derives the checksum (master-reads pattern); all lock
+  // increments happened before the final barrier, so the accumulator
+  // totals are exact integer sums, identical on every backend.
+  double total = reducer_.Sum(p);
+  for (int l = 0; l < params_.num_locks; ++l) {
+    total += static_cast<double>(p.Read(acc_, static_cast<std::size_t>(l)));
+  }
+  if (p.id() == 0) result_ = total;
+}
+
+}  // namespace dsm::apps

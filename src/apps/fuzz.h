@@ -1,0 +1,59 @@
+// Fuzz: a seeded, randomized access-pattern workload for the protocol
+// matrix.  Not from the paper — a property-based safety net: every
+// processor drives a deterministic (dsm::Rng-seeded) random mix of shared
+// reads, shared writes, lock-protected read-modify-writes, and barriers
+// over a configurable page span, constructed so the final checksum is
+// bit-identical on every backend × aggregation cell:
+//
+//   * the span is split in halves that alternate writer/reader roles per
+//     barrier phase, with word-interleaved ownership inside the write
+//     half (maximal false sharing, zero data races),
+//   * lock ops add deterministic integer deltas to per-lock accumulator
+//     cells — integer addition commutes, so the totals are exact no
+//     matter how the host schedules the lock hand-offs.
+//
+// Its lock traffic still makes the *modelled* state host-order dependent
+// (like Water/TSP), so conformance scenarios mark it rel_tol == 0 but
+// modelled_stable == false.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "apps/app_common.h"
+
+namespace dsm::apps {
+
+struct FuzzParams {
+  std::string label;
+  std::size_t span_pages;   // shared span under random access
+  int phases;               // barrier-delimited rounds
+  int ops_per_phase;        // random ops per processor per round
+  int num_locks;            // accumulator cells behind locks
+  std::uint64_t seed;       // expanded per processor
+};
+
+FuzzParams FuzzDataset(const std::string& label);  // "tiny", "wide"
+
+class Fuzz : public Application {
+ public:
+  explicit Fuzz(FuzzParams params);
+
+  const char* name() const override { return "Fuzz"; }
+  std::string dataset() const override { return params_.label; }
+  std::size_t heap_bytes() const override;
+
+  void Setup(Runtime& rt) override;
+  void Body(Proc& p) override;
+  double result() const override { return result_; }
+
+ private:
+  FuzzParams params_;
+  SharedArray<std::int32_t> span_;
+  SharedArray<std::int32_t> acc_;
+  Reducer reducer_;
+  double result_ = 0.0;
+};
+
+}  // namespace dsm::apps

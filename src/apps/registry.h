@@ -41,6 +41,13 @@ struct ConformanceScenario {
   // identical bits.  >0 → scheduling-dependent floating-point accumulation
   // (e.g. force sums under locks); cells agree only within this error.
   double rel_tol;
+  // True iff the app's full modelled state (times, comm statistics) is
+  // bit-reproducible at a fixed configuration.  False for any app that
+  // synchronizes through locks, whose grant order the host schedules —
+  // including Fuzz, whose *checksum* is exact (rel_tol 0: commuting
+  // integer sums) while its statistics are not.  test_gc bit-compares
+  // modelled state across GC settings only when this is set.
+  bool modelled_stable = true;
 };
 
 std::vector<ConformanceScenario> ConformanceScenarios();

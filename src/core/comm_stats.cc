@@ -14,6 +14,11 @@ void CommBreakdown::Merge(const CommBreakdown& other) {
   piggyback_useless_bytes += other.piggyback_useless_bytes;
   useless_msg_data_bytes += other.useless_msg_data_bytes;
   delivered_data_bytes += other.delivered_data_bytes;
+  home_flush_messages += other.home_flush_messages;
+  home_flushes += other.home_flushes;
+  home_flush_bytes += other.home_flush_bytes;
+  home_fetches += other.home_fetches;
+  home_fetch_bytes += other.home_fetch_bytes;
   signature.Merge(other.signature);
   read_faults += other.read_faults;
   write_faults += other.write_faults;
@@ -37,6 +42,11 @@ std::string CommBreakdown::ToString() const {
       << " silent=" << silent_validations << " twin=" << twins_created
       << " diff+=" << diffs_created << " diff->=" << diffs_applied
       << " inval=" << units_invalidated << "\n";
+  if (home_flushes + home_fetches > 0) {
+    out << "home: flushes=" << home_flushes << " (" << home_flush_bytes
+        << " B) fetches=" << home_fetches << " (" << home_fetch_bytes
+        << " B)\n";
+  }
   out << "signature:\n" << signature.ToString();
   return out.str();
 }

@@ -46,6 +46,21 @@ struct CommBreakdown {
   // breaks the equality.
   std::uint64_t delivered_data_bytes = 0;
 
+  // Home-based LRC traffic (BackendKind::kHlrc, DESIGN.md §7).  Fetch
+  // exchanges (home → reader) go through the regular exchange machinery,
+  // so their words land in the useful/useless split and in
+  // delivered_data_bytes — the accounting invariant covers them
+  // unchanged.  Flush traffic (writer → home) moves data nobody has read
+  // yet; it is outside the paper's reader-side taxonomy and is tallied
+  // separately here (and in NetStats under the kHome* kinds).  Counters
+  // cover remote homes only: self-homed units flush and fetch locally,
+  // with no messages.
+  std::uint64_t home_flush_messages = 0;  // flush + ack, 2 per home contacted
+  std::uint64_t home_flushes = 0;         // units flushed to a remote home
+  std::uint64_t home_flush_bytes = 0;     // diff payload absorbed by homes
+  std::uint64_t home_fetches = 0;         // whole units fetched from homes
+  std::uint64_t home_fetch_bytes = 0;     // full-unit payload delivered
+
   // False sharing signature (Figure 3): bucket k = faults that contacted k
   // concurrent writers; per bucket, exchanges split useful/useless.
   SplitHistogram signature;
@@ -61,7 +76,8 @@ struct CommBreakdown {
   std::uint64_t group_prefetch_units = 0;  // units fetched via page groups
 
   std::uint64_t total_messages() const {
-    return useful_messages + useless_messages + sync_messages;
+    return useful_messages + useless_messages + sync_messages +
+           home_flush_messages;
   }
   std::uint64_t total_data_bytes() const {
     return useful_data_bytes + piggyback_useless_bytes +

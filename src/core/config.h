@@ -25,6 +25,37 @@ enum class BackendKind {
   // data-race-free under LRC computes the same answer here; divergence
   // between the two backends indicates a protocol bug.
   kReference,
+  // Home-based LRC (DESIGN.md §7): every consistency unit has a home node
+  // that eagerly absorbs diffs at release time and serves whole-unit
+  // copies on fault.  Write notices and invalidate-on-acquire are shared
+  // with kLrc, but no diff archive accumulates — released payloads live
+  // at the home, so the interval-archive GC is bypassed entirely.  The
+  // classic counterpart design to the paper's distributed LRC: one extra
+  // hop per release, whole-unit data motion per fault.
+  kHlrc,
+};
+
+// Archive-GC pass sizing policy: dominated-record count at or below which
+// a pass runs serially on proc 0 instead of striping across the idle
+// nodes (see Node::Barrier).  Striping conserves work — it only buys
+// wall-clock when the stripe workers run on real cores — so the threshold
+// scales inversely with host parallelism: on a single core striping is
+// pure rendezvous overhead (forced serial), with unknown concurrency (0)
+// the historical fixed threshold is kept, and on wide hosts even light
+// passes are worth spreading.  Pure function of the argument so tests pin
+// the policy; modelled state is bit-identical either way (DESIGN.md §6),
+// which is what makes a host-dependent switch legal at all.
+std::size_t GcSerialPassLimit(unsigned hardware_threads);
+
+// Archive-GC pass execution mode.  kAuto applies GcSerialPassLimit to
+// the host's hardware concurrency; the force modes exist so the
+// serial/striped bit-equivalence can be exercised on ANY host (a test
+// that only runs whichever mode the local core count selects would let
+// a divergence ship undetected).
+enum class GcPassMode {
+  kAuto,
+  kForceSerial,
+  kForceStriped,
 };
 
 struct RuntimeConfig {
@@ -73,6 +104,10 @@ struct RuntimeConfig {
   // under either setting.
   bool lock_chain_phases = true;
 
+  // Archive-GC pass sizing: auto (hardware-concurrency-scaled serial
+  // threshold) or forced serial/striped — see GcPassMode.
+  GcPassMode gc_pass_mode = GcPassMode::kAuto;
+
   // Flatten target age: collect only intervals dominated by the global
   // vector clock from this many barriers ago (minimum 1 — the youngest
   // clock every node is guaranteed to have fully processed).  Most
@@ -81,6 +116,12 @@ struct RuntimeConfig {
   // reserves the flattening work for genuinely cold chains, whose length
   // stays bounded by interval × lag barriers either way.
   int gc_lag_barriers = 2;
+
+  // Home-based LRC only: homes are assigned to consistency units
+  // round-robin over processors in blocks of this many units (1 =
+  // unit-interleaved; larger blocks give each node contiguous home
+  // ranges, trading hot-home risk for fewer homes per multi-unit fetch).
+  int hlrc_home_block_units = 1;
 
   // Number of DSM lock ids available to the application.
   int num_locks = 4096;
@@ -97,7 +138,7 @@ struct RuntimeConfig {
   // Human-readable label for tables: "4K", "8K", "16K", or "Dyn".
   const char* UnitLabel() const;
 
-  // "LRC" or "Ref".
+  // "LRC", "HLRC", or "Ref".
   const char* BackendLabel() const;
 };
 

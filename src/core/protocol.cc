@@ -1,10 +1,24 @@
 #include "core/protocol.h"
 
 #include <algorithm>
+#include <limits>
 #include <string>
+#include <thread>
 #include <unordered_map>
 
 namespace dsm {
+
+std::size_t GcSerialPassLimit(unsigned hardware_threads) {
+  if (hardware_threads == 0) return 1024;  // unknown: historical default
+  if (hardware_threads == 1) {
+    return std::numeric_limits<std::size_t>::max();  // striping buys nothing
+  }
+  // Wider hosts amortize the stripe rendezvous over more real cores, so
+  // progressively lighter passes are worth spreading; the 4-thread point
+  // reproduces the historical fixed threshold, and the floor keeps truly
+  // trivial passes (a handful of records) serial on any machine.
+  return std::max<std::size_t>(4096 / hardware_threads, 64);
+}
 
 const char* RuntimeConfig::UnitLabel() const {
   if (aggregation == AggregationMode::kDynamic) return "Dyn";
@@ -23,7 +37,15 @@ const char* RuntimeConfig::UnitLabel() const {
 }
 
 const char* RuntimeConfig::BackendLabel() const {
-  return backend == BackendKind::kReference ? "Ref" : "LRC";
+  switch (backend) {
+    case BackendKind::kReference:
+      return "Ref";
+    case BackendKind::kHlrc:
+      return "HLRC";
+    case BackendKind::kLrc:
+      break;
+  }
+  return "LRC";
 }
 
 SharedState::SharedState(const RuntimeConfig& cfg)
@@ -36,10 +58,33 @@ SharedState::SharedState(const RuntimeConfig& cfg)
   if (cfg.backend == BackendKind::kReference) {
     reference_image.reset(new std::byte[heap.heap_bytes()]());
   }
+  if (cfg.backend == BackendKind::kHlrc) {
+    home_image.reset(new std::byte[heap.heap_bytes()]());
+    home_mutexes.reset(new std::mutex[heap.num_units()]);
+  }
+  switch (cfg.gc_pass_mode) {
+    case GcPassMode::kForceSerial:
+      gc_serial_pass_limit = std::numeric_limits<std::size_t>::max();
+      break;
+    case GcPassMode::kForceStriped:
+      gc_serial_pass_limit = 0;  // every non-empty pass stripes
+      break;
+    case GcPassMode::kAuto:
+      gc_serial_pass_limit =
+          GcSerialPassLimit(std::thread::hardware_concurrency());
+      break;
+  }
   archives.reserve(cfg.num_procs);
   for (int p = 0; p < cfg.num_procs; ++p) {
     archives.push_back(std::make_unique<IntervalArchive>());
-    archives.back()->set_telemetry(&archive_telemetry);
+    // The telemetry reports the LRC diff archive the GC keeps bounded.
+    // HLRC records are notice-only metadata pruned by a seen-everywhere
+    // watermark (HlrcPruneNotices) — hooking them up would report a
+    // phantom archive for a backend that has none, and the reference
+    // backend never archives at all.
+    if (cfg.backend == BackendKind::kLrc) {
+      archives.back()->set_telemetry(&archive_telemetry);
+    }
   }
   canonical =
       std::make_unique<CanonicalStore>(heap.num_units(), heap.unit_bytes());
@@ -54,7 +99,9 @@ Node::Node(ProcId id, SharedState& shared)
       unit_bytes_(shared.heap.unit_bytes()),
       unit_shift_(shared.heap.unit_shift()),
       protocol_enabled_(shared.config.num_procs > 1 &&
-                        shared.config.backend == BackendKind::kLrc),
+                        shared.config.backend != BackendKind::kReference),
+      hlrc_(protocol_enabled_ &&
+            shared.config.backend == BackendKind::kHlrc),
       shared_access_cost_(shared.config.cost.shared_access),
       image_(shared.reference_image
                  ? nullptr
@@ -72,7 +119,15 @@ Node::Node(ProcId id, SharedState& shared)
       aggregator_(shared.heap.num_units(), shared.config.max_group_pages),
       vc_(shared.config.num_procs),
       notices_seen_(shared.config.num_procs),
-      needs_by_writer_(shared.config.num_procs) {}
+      needs_by_writer_(shared.config.num_procs) {
+  if (hlrc_) {
+    fetch_by_home_.resize(static_cast<std::size_t>(shared.config.num_procs));
+    hlrc_flush_bytes_.assign(
+        static_cast<std::size_t>(shared.config.num_procs), 0);
+    hlrc_flush_server_.assign(
+        static_cast<std::size_t>(shared.config.num_procs), 0);
+  }
+}
 
 void Node::ReadBytesSlow(GlobalAddr addr, void* out, std::size_t bytes) {
   auto* dst = static_cast<std::byte*>(out);
@@ -182,6 +237,11 @@ void Node::ValidateUnit(UnitId unit) {
   }
 
   if (pending_[unit].empty() && flattened_[unit].empty()) {
+    // Never reached under HLRC: a unit only goes invalid when a write
+    // notice queues a pending entry, and HlrcFetchUnits clears the list
+    // exactly when it revalidates (no GC ever reclaims entries).
+    DSM_CHECK(!hlrc_) << "HLRC: invalid unit " << unit
+                      << " with no pending write notices";
     // Read-aware flattening left only elided history for this unit: every
     // reclaimed word was never read here, so there is nothing to fetch —
     // refresh the bytes from the canonical base (data safety for a
@@ -210,7 +270,11 @@ void Node::ValidateUnit(UnitId unit) {
       }
     }
   }
-  FetchUnits(fetch);
+  if (hlrc_) {
+    HlrcFetchUnits(fetch);
+  } else {
+    FetchUnits(fetch);
+  }
 
   for (UnitId fetched : fetch) {
     if (fetched == unit) {
@@ -539,6 +603,10 @@ void Node::CloseInterval(bool lock_release) {
   if (!protocol_enabled()) return;
   const auto& dirty = table_.dirty_units();
   if (dirty.empty()) return;
+  if (hlrc_) {
+    HlrcFlushInterval(lock_release);
+    return;
+  }
   const CostModel& cost = shared_.config.cost;
 
   IntervalRecord rec;
@@ -566,6 +634,199 @@ void Node::CloseInterval(bool lock_release) {
   rec.vc = vc_;
   table_.ClearDirtyList();
   shared_.archives[id_]->Append(std::move(rec));
+}
+
+// Home-based LRC release (DESIGN.md §7): the dual of the lazy path above.
+// Diffs are created eagerly (the releaser pays the twin scan now, not a
+// future requester), shipped to each dirty unit's home in one combined
+// message per remote home (homes absorb them in parallel; the release
+// waits for the slowest ack), and the archived record keeps only the
+// write notices — the payload now lives at the homes, so nothing here
+// ever needs garbage collecting.
+void Node::HlrcFlushInterval(bool lock_release) {
+  const CostModel& cost = shared_.config.cost;
+  const auto& dirty = table_.dirty_units();
+
+  IntervalRecord rec;
+  rec.proc = id_;
+  rec.seq = ++vc_[id_];
+  rec.lock_release = lock_release;
+  rec.units.reserve(dirty.size());
+  rec.diffs.reserve(dirty.size());
+
+  VirtualNanos create_cost = 0;
+  for (UnitId unit : dirty) {
+    rec.units.push_back(unit);
+    // Notice-only record: the empty diff keeps the archive's units/diffs
+    // parallel-array invariant without retaining any payload.
+    rec.diffs.emplace_back();
+    const Diff diff = Diff::Create(table_.twin(unit), UnitSpan(unit));
+    create_cost += cost.DiffCreateCost(unit_bytes_);
+    comm_stats_.counters().diffs_created += 1;
+    const ProcId home = shared_.HomeOf(unit);
+    // An empty diff means the interval changed no bytes: the twin scan
+    // above is still paid (eager diffing discovers the emptiness), but
+    // there is nothing for the home to absorb and the write notice
+    // travels with the sync traffic — no flush message is modelled.
+    if (!diff.empty()) {
+      {
+        std::span<std::byte> home_span{
+            shared_.home_image.get() + shared_.heap.UnitBase(unit),
+            unit_bytes_};
+        std::lock_guard lock(shared_.home_mutexes[unit]);
+        diff.Apply(home_span);
+      }
+      if (home != id_) {
+        if (hlrc_flush_bytes_[home] == 0) {
+          hlrc_flush_bytes_[home] = 16;  // flush message header
+        }
+        hlrc_flush_bytes_[home] += 8 + diff.EncodedBytes();
+        hlrc_flush_server_[home] +=
+            cost.DiffApplyCost(diff.payload_bytes());
+        comm_stats_.counters().home_flushes += 1;
+        comm_stats_.counters().home_flush_bytes += diff.payload_bytes();
+      }
+    }
+    table_.DropTwin(unit);
+    if (table_.state(unit) == UnitState::kDirty) {
+      table_.set_state(unit, UnitState::kReadValid);
+    }
+    // No retwin_cheap_: under eager diffing the twin is genuinely gone
+    // after a release, so the next write pays the full twin again.
+  }
+  rec.vc = vc_;
+  table_.ClearDirtyList();
+  clock_.Advance(create_cost);
+
+  // One flush exchange per remote home touched; homes apply in parallel,
+  // the releaser advances to the slowest acknowledgement.
+  VirtualNanos slowest = 0;
+  for (ProcId h = 0; h < num_procs(); ++h) {
+    if (hlrc_flush_bytes_[h] == 0) continue;
+    net_stats_.Record(MessageKind::kHomeFlush, hlrc_flush_bytes_[h]);
+    net_stats_.Record(MessageKind::kHomeFlushAck, 16);
+    comm_stats_.counters().home_flush_messages += 2;
+    const VirtualNanos t =
+        shared_.net.RoundTripTime(hlrc_flush_bytes_[h], 16) +
+        cost.request_service_overhead + hlrc_flush_server_[h];
+    slowest = std::max(slowest, t);
+    hlrc_flush_bytes_[h] = 0;
+    hlrc_flush_server_[h] = 0;
+  }
+  clock_.Advance(slowest);
+
+  shared_.archives[id_]->Append(std::move(rec));
+}
+
+// Home-based LRC fault resolution (DESIGN.md §7): whole-unit copies from
+// the homes replace the LRC diff chase.  One combined exchange per remote
+// home (homes answer in parallel); a self-homed unit is a local copy with
+// no messages and no delivery accounting (nothing crossed the wire).  The
+// home copy is at least as new as everything the pending notices name —
+// every noticed release flushed before this node's acquire completed —
+// and any newer words it carries belong to intervals this node will be
+// told about later; race-free programs never read those early.
+void Node::HlrcFetchUnits(const std::vector<UnitId>& units) {
+  const CostModel& cost = shared_.config.cost;
+  const std::size_t words_per_unit = unit_bytes_ / kWordBytes;
+  const bool track = shared_.config.track_usage;
+
+  for (auto& v : fetch_by_home_) v.clear();
+  for (UnitId unit : units) {
+    fetch_by_home_[static_cast<std::size_t>(shared_.HomeOf(unit))]
+        .push_back(unit);
+  }
+
+  const std::uint32_t first_exchange = comm_stats_.num_exchanges();
+  int num_homes = 0;
+  VirtualNanos slowest = 0;
+  for (ProcId h = 0; h < num_procs(); ++h) {
+    const std::vector<UnitId>& list =
+        fetch_by_home_[static_cast<std::size_t>(h)];
+    if (list.empty()) continue;
+    std::uint32_t ex = 0;
+    const bool remote = h != id_;
+    if (remote) {
+      ++num_homes;
+      ex = comm_stats_.NewExchange(h);
+      const std::size_t request_bytes = 16 + 8 * list.size();
+      const std::size_t response_bytes = list.size() * (16 + unit_bytes_);
+      const std::size_t delivered_words = list.size() * words_per_unit;
+      comm_stats_.AddDelivered(
+          ex, static_cast<std::uint32_t>(delivered_words),
+          static_cast<std::uint32_t>(delivered_words * kWordBytes));
+      net_stats_.Record(MessageKind::kHomeFetch, request_bytes);
+      net_stats_.Record(MessageKind::kHomeFetchReply, response_bytes);
+      comm_stats_.counters().home_fetches += list.size();
+      comm_stats_.counters().home_fetch_bytes += list.size() * unit_bytes_;
+      comm_stats_.counters().delivered_data_bytes +=
+          list.size() * unit_bytes_;
+      // Home-side cost: request handling plus one unit copy into the
+      // reply per unit served.
+      const VirtualNanos server =
+          cost.request_service_overhead +
+          static_cast<VirtualNanos>(list.size()) *
+              cost.TwinCost(unit_bytes_);
+      slowest = std::max(
+          slowest,
+          shared_.net.RoundTripTime(request_bytes, response_bytes) + server);
+    }
+    for (UnitId unit : list) {
+      const bool twinned = table_.HasTwin(unit);
+      std::span<std::byte> dst = UnitSpan(unit);
+      // Local uncommitted writes (live twin): capture them, lay the home
+      // copy underneath, re-apply them on top — the whole-unit analogue
+      // of the LRC path's "apply foreign diffs to image AND twin", so
+      // diff(twin, image) still yields exactly the local modifications.
+      Diff local;
+      if (twinned) local = Diff::Create(table_.twin(unit), dst);
+      {
+        const std::byte* src =
+            shared_.home_image.get() + shared_.heap.UnitBase(unit);
+        std::lock_guard lock(shared_.home_mutexes[unit]);
+        std::memcpy(dst.data(), src, unit_bytes_);
+        if (twinned) {
+          std::memcpy(table_.twin(unit).data(), src, unit_bytes_);
+        }
+      }
+      if (twinned && !local.empty()) local.Apply(dst);
+      // Installing the received (or locally copied) unit is one memcpy.
+      clock_.Advance(cost.TwinCost(unit_bytes_));
+      if (track && remote) {
+        for (std::uint32_t w = 0;
+             w < static_cast<std::uint32_t>(words_per_unit); ++w) {
+          tracker_.Deliver(unit, w, ex);
+        }
+        // Words the local re-apply overwrote can never credit the fetch.
+        for (const DiffRun& run : local.runs()) {
+          tracker_.OnWrite(unit, run.word_offset, run.word_count);
+        }
+      }
+      pending_[unit].clear();
+    }
+  }
+  if (num_homes > 0) {
+    clock_.Advance(slowest);
+    comm_stats_.RecordFault(num_homes, first_exchange);
+  }
+}
+
+// HLRC notice-log watermark pruning: a record every other node has
+// already processed (its seq is at or below everyone's notices_seen_ for
+// the writer) can never be Range()d again — not by a lock acquire, not by
+// a barrier release — so proc 0 drops those prefixes inside the barrier's
+// idle window, where no peer can be appending or collecting.  This is the
+// whole HLRC memory story: records are notice-only metadata, and the log
+// stays bounded by how far the slowest consumer lags.
+void Node::HlrcPruneNotices() {
+  for (ProcId p = 0; p < num_procs(); ++p) {
+    Seq watermark = std::numeric_limits<Seq>::max();
+    for (ProcId q = 0; q < num_procs(); ++q) {
+      if (q == p) continue;  // a node never consumes its own notices
+      watermark = std::min(watermark, shared_.nodes[q]->notices_seen_[p]);
+    }
+    shared_.archives[p]->PruneThrough(watermark);
+  }
 }
 
 // Flatten phase (pass 1 of DESIGN.md §6), striped: this node converts the
@@ -988,7 +1249,10 @@ void Node::InvalidateFrom(
     const std::vector<const IntervalRecord*>& records) {
   const CostModel& cost = shared_.config.cost;
   for (const IntervalRecord* rec : records) {
-    if (rec->lock_release) tracker_.EnableInterest();
+    // Read interest only feeds the LRC archive GC's read-aware
+    // flattening; HLRC has no archive, so its read path keeps the tight
+    // credit loop.
+    if (rec->lock_release && !hlrc_) tracker_.EnableInterest();
     for (UnitId unit : rec->units) {
       pending_[unit].push_back({rec->proc, rec->seq});
       const UnitState s = table_.state(unit);
@@ -1038,10 +1302,16 @@ void Node::Barrier() {
   // the next phase (and issues new requests) before every drain finished.
   // This quantizes the lazy-diffing cost decisions to barrier phases,
   // making modelled time independent of host thread scheduling.
-  for (std::size_t u = 0; u < diff_requested_.size(); ++u) {
-    if (diff_requested_[u].load(std::memory_order_relaxed) != 0) {
-      diff_requested_[u].store(0, std::memory_order_relaxed);
-      diff_request_seen_[u] = 1;
+  //
+  // HLRC diffs eagerly and keeps no diff archive, so neither the
+  // lazy-diffing flags nor the archive GC exist for it; the idle window
+  // instead hosts the trivial notice-log watermark prune.
+  if (!hlrc_) {
+    for (std::size_t u = 0; u < diff_requested_.size(); ++u) {
+      if (diff_requested_[u].load(std::memory_order_relaxed) != 0) {
+        diff_requested_[u].store(0, std::memory_order_relaxed);
+        diff_request_seen_[u] = 1;
+      }
     }
   }
   // Archive GC rides the same idle window (DESIGN.md §6), striped over
@@ -1059,7 +1329,7 @@ void Node::Barrier() {
   const auto gc_lag = static_cast<std::uint32_t>(
       std::max(1, shared_.config.gc_lag_barriers));
   const bool gc_due =
-      gc_interval > 0 && sync_phase_ >= gc_lag &&
+      !hlrc_ && gc_interval > 0 && sync_phase_ >= gc_lag &&
       (sync_phase_ + 1) % static_cast<std::uint32_t>(gc_interval) == 0;
   bool gc_ran = false;
   VectorClock gc_through;
@@ -1080,8 +1350,9 @@ void Node::Barrier() {
       dominated += shared_.archives[p]->CountThrough(gc_through[p]);
     }
     gc_ran = dominated > 0;
-    constexpr std::size_t kSerialPassLimit = 1024;
-    if (gc_ran && dominated <= kSerialPassLimit) {
+    // Serial-vs-striped switch, hardware-concurrency aware (see
+    // GcSerialPassLimit): identical on every node, so all pick one mode.
+    if (gc_ran && dominated <= shared_.gc_serial_pass_limit) {
       if (id_ == 0) {
         GcFlattenStripe(gc_through, 0, 1);
         GcApplyStripe(0, 1);
@@ -1094,11 +1365,16 @@ void Node::Barrier() {
       if (id_ == 0) ++shared_.gc_passes;
     }
   }
+  // HLRC rides the same idle window for its notice-log watermark prune:
+  // every peer is parked between Arrive and Rendezvous, so their
+  // notices_seen_ clocks are frozen and nobody can be collecting from
+  // the archives being pruned.
+  if (hlrc_ && id_ == 0) HlrcPruneNotices();
   shared_.barrier->Rendezvous();
   // History maintenance after the rendezvous: ordered after every
   // gc_through copy above and before any node's next barrier (its next
   // Arrive cannot complete before proc 0's, which follows this push).
-  if (id_ == 0 && gc_interval > 0) {
+  if (id_ == 0 && gc_interval > 0 && !hlrc_) {
     shared_.gc_history.push_back(res.global_vc);
     while (shared_.gc_history.size() > gc_lag) {
       shared_.gc_history.pop_front();
@@ -1152,7 +1428,8 @@ void Node::AcquireLock(int lock_id) {
   }
   const CostModel& cost = shared_.config.cost;
 
-  tracker_.EnableInterest();  // lock program: read interest matters now
+  // Read interest feeds the LRC archive GC only (no archive under HLRC).
+  if (!hlrc_) tracker_.EnableInterest();
   LockService::Grant grant = shared_.locks->Acquire(lock_id, id_);
   if (grant.cached) {
     // Token already local: no communication, constant local cost.
@@ -1164,7 +1441,7 @@ void Node::AcquireLock(int lock_id) {
   // service-wide hand-off order, so diff requests issued from here on are
   // ordered after — and served from the cache of — anything materialized
   // under the previous holder's acquires.
-  if (shared_.config.lock_chain_phases) {
+  if (shared_.config.lock_chain_phases && !hlrc_) {
     lock_subphase_ = static_cast<std::uint32_t>(grant.chain_pos);
   }
 

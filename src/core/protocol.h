@@ -22,10 +22,12 @@
 // its mutex) and the sync services.
 #pragma once
 
+#include <algorithm>
 #include <cstring>
 #include <atomic>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/check.h"
@@ -70,6 +72,28 @@ struct SharedState {
   // image).  Race-free programs touch disjoint words between
   // synchronizations, so direct concurrent access is well-defined.
   std::unique_ptr<std::byte[]> reference_image;
+  // BackendKind::kHlrc (DESIGN.md §7): the home-node master copies of
+  // every consistency unit, as one heap-sized image (which node is a
+  // unit's home is pure metadata — HomeOf).  Releases apply diffs here
+  // eagerly; faults copy whole units out.  Per-unit mutexes serialize a
+  // flush against a concurrent whole-unit fetch (race-free programs never
+  // conflict on the words involved, but the host-level copies overlap).
+  // Null unless the backend is kHlrc.
+  std::unique_ptr<std::byte[]> home_image;
+  std::unique_ptr<std::mutex[]> home_mutexes;  // one per unit
+  // Serial-vs-striped GC switch for this host (GcSerialPassLimit applied
+  // to std::thread::hardware_concurrency() once at construction, so every
+  // node derives the same pass mode).
+  std::size_t gc_serial_pass_limit = 0;
+
+  // Home node of `unit` under kHlrc: round-robin over processors in
+  // blocks of config.hlrc_home_block_units units.
+  ProcId HomeOf(UnitId unit) const {
+    const auto block =
+        static_cast<UnitId>(std::max(1, config.hlrc_home_block_units));
+    return static_cast<ProcId>((unit / block) %
+                               static_cast<UnitId>(config.num_procs));
+  }
   // Peer access for the lazy-diffing cost flags; filled in by Runtime
   // after node construction.
   std::vector<Node*> nodes;
@@ -198,6 +222,26 @@ class Node {
   // record, and all modelled costs.
   void FetchUnits(const std::vector<UnitId>& units);
 
+  // --- home-based LRC (BackendKind::kHlrc, DESIGN.md §7) -------------------
+  // Close the open interval by eagerly diffing every dirty unit and
+  // flushing the diffs to the units' homes (one combined message per
+  // remote home, answered in parallel), then archive a notice-only
+  // interval record (units + clock, empty diffs — the payload lives at
+  // the homes now).
+  void HlrcFlushInterval(bool lock_release);
+
+  // Resolve the invalid `units` by fetching whole-unit copies from their
+  // homes (one combined exchange per remote home; self-homed units are a
+  // local copy).  Local uncommitted modifications (a live twin) are laid
+  // back on top, mirroring the LRC fault path's image+twin discipline.
+  void HlrcFetchUnits(const std::vector<UnitId>& units);
+
+  // Barrier-window notice-log maintenance (proc 0, inside the idle
+  // window): prune every archived notice record that every other node has
+  // already processed — the HLRC counterpart of the LRC archive GC,
+  // trivial because the records are metadata-only.
+  void HlrcPruneNotices();
+
   // Mark a clean unit dirty (twin + unprotect).  `cheap` re-twins carry no
   // modelled cost (lazy-diffing regime, see WriteFault).
   void TwinUnit(UnitId unit, bool cheap = false);
@@ -226,6 +270,9 @@ class Node {
   const std::size_t unit_bytes_;
   const int unit_shift_;
   const bool protocol_enabled_;
+  // Home-based LRC backend active (protocol on + BackendKind::kHlrc):
+  // releases flush to homes, faults fetch whole units, no archive GC.
+  const bool hlrc_;
   // Per-word cost of a shared access, cached off the config for the
   // fast path.
   const VirtualNanos shared_access_cost_;
@@ -316,6 +363,11 @@ class Node {
   std::vector<const Diff*> absorbed_scratch_;         // FetchUnits
   std::vector<UnitId> fetch_scratch_;                 // ValidateUnit
   std::vector<const IntervalRecord*> notice_scratch_;  // Barrier/AcquireLock
+  // HLRC scratch (empty vectors under the other backends): fault-time
+  // unit lists grouped by home, and per-home flush message accounting.
+  std::vector<std::vector<UnitId>> fetch_by_home_;     // HlrcFetchUnits
+  std::vector<std::size_t> hlrc_flush_bytes_;          // HlrcFlushInterval
+  std::vector<VirtualNanos> hlrc_flush_server_;        // HlrcFlushInterval
 
   // Striped archive GC (DESIGN.md §6): the (unit, record) references this
   // node's flatten stripe routed to the canonical base, unit-ordered

@@ -18,11 +18,20 @@ std::uint64_t NetStats::total_bytes() const {
 
 std::uint64_t NetStats::data_messages() const {
   return messages(MessageKind::kDiffRequest) +
-         messages(MessageKind::kDiffResponse);
+         messages(MessageKind::kDiffResponse) +
+         messages(MessageKind::kHomeFlush) +
+         messages(MessageKind::kHomeFlushAck) +
+         messages(MessageKind::kHomeFetch) +
+         messages(MessageKind::kHomeFetchReply);
 }
 
 std::uint64_t NetStats::data_bytes() const {
-  return bytes(MessageKind::kDiffRequest) + bytes(MessageKind::kDiffResponse);
+  return bytes(MessageKind::kDiffRequest) +
+         bytes(MessageKind::kDiffResponse) +
+         bytes(MessageKind::kHomeFlush) +
+         bytes(MessageKind::kHomeFlushAck) +
+         bytes(MessageKind::kHomeFetch) +
+         bytes(MessageKind::kHomeFetchReply);
 }
 
 std::uint64_t NetStats::sync_messages() const {

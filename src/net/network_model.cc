@@ -18,6 +18,14 @@ const char* MessageKindName(MessageKind kind) {
       return "lock_request";
     case MessageKind::kLockGrant:
       return "lock_grant";
+    case MessageKind::kHomeFlush:
+      return "home_flush";
+    case MessageKind::kHomeFlushAck:
+      return "home_flush_ack";
+    case MessageKind::kHomeFetch:
+      return "home_fetch";
+    case MessageKind::kHomeFetchReply:
+      return "home_fetch_reply";
     case MessageKind::kCount:
       break;
   }

@@ -28,11 +28,23 @@ enum class MessageKind : std::uint8_t {
   kBarrierRelease,
   kLockRequest,
   kLockGrant,
+  // Home-based LRC traffic (BackendKind::kHlrc, DESIGN.md §7).  Appended
+  // after the original kinds: fingerprinting code relies on the prefix
+  // ordering staying fixed (bench_wallclock skips zero entries of these
+  // new kinds so pre-HLRC fingerprints are unchanged).
+  kHomeFlush,       // release-time diff flush to the home (diff payload)
+  kHomeFlushAck,    // home's acknowledgement of a flush
+  kHomeFetch,       // fault-time whole-unit request to the home
+  kHomeFetchReply,  // home's reply carrying full unit copies
   kCount,  // sentinel
 };
 
 constexpr std::size_t kNumMessageKinds =
     static_cast<std::size_t>(MessageKind::kCount);
+// First of the HLRC home-traffic kinds (the fingerprint back-compat
+// boundary; see bench_wallclock).
+constexpr std::size_t kFirstHomeMessageKind =
+    static_cast<std::size_t>(MessageKind::kHomeFlush);
 
 const char* MessageKindName(MessageKind kind);
 

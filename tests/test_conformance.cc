@@ -1,16 +1,22 @@
 // Cross-backend conformance harness: every application in the registry's
 // conformance catalogue runs under {4 K static, 16 K static, dynamic}
-// aggregation × {LRC protocol, sequentially consistent reference} and must
-// produce the same checksum in every cell.  The reference backend executes
-// the identical Run body on one shared image with no twins, no diffs, and
-// no write notices, so any divergence is a protocol bug, not an
-// application bug.  Each cell's RunStats must also satisfy the accounting
-// invariants (the safety net future performance PRs run against).
+// aggregation × {LRC protocol, home-based LRC, sequentially consistent
+// reference} and must produce the same checksum in every cell.  The
+// reference backend executes the identical Run body on one shared image
+// with no twins, no diffs, and no write notices, so any divergence is a
+// protocol bug, not an application bug.  Each cell's RunStats must also
+// satisfy the accounting invariants (the safety net future performance
+// PRs run against).
+//
+// Setting DSM_BACKEND=lrc|hlrc|ref in the environment restricts the sweep
+// to one backend's three aggregation cells — CI uses it to fail fast on a
+// broken backend before running the full matrix.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -26,6 +32,20 @@ struct Cell {
   BackendKind backend;
 };
 
+std::vector<BackendKind> SweepBackends() {
+  const char* env = std::getenv("DSM_BACKEND");
+  if (env == nullptr || env[0] == '\0') {
+    return {BackendKind::kLrc, BackendKind::kHlrc, BackendKind::kReference};
+  }
+  const std::string v = env;
+  if (v == "lrc") return {BackendKind::kLrc};
+  if (v == "hlrc") return {BackendKind::kHlrc};
+  if (v == "ref") return {BackendKind::kReference};
+  ADD_FAILURE() << "unknown DSM_BACKEND value '" << v
+                << "' (expected lrc|hlrc|ref)";
+  return {BackendKind::kLrc};
+}
+
 std::vector<Cell> SweepCells() {
   std::vector<Cell> cells;
   const struct {
@@ -36,8 +56,9 @@ std::vector<Cell> SweepCells() {
       {AggregationMode::kStatic, 4},   // 16 K
       {AggregationMode::kDynamic, 1},  // Dyn
   };
+  const std::vector<BackendKind> backends = SweepBackends();
   for (const auto& a : aggs) {
-    for (BackendKind b : {BackendKind::kLrc, BackendKind::kReference}) {
+    for (BackendKind b : backends) {
       cells.push_back({a.mode, a.ppu, b});
     }
   }
@@ -95,6 +116,28 @@ void ExpectStatsSane(const ConformanceScenario& s, const Cell& cell,
     EXPECT_EQ(stats.comm.total_messages(), 0u) << where;
     EXPECT_EQ(stats.net.total_messages(), 0u) << where;
     EXPECT_EQ(stats.comm.delivered_data_bytes, 0u) << where;
+  } else if (cell.backend == BackendKind::kHlrc) {
+    // Home-based LRC: releases flush to homes, faults fetch whole units;
+    // the diff-chase machinery must stay cold.
+    EXPECT_GT(stats.net.total_messages(), 0u) << where;
+    EXPECT_GT(stats.comm.sync_messages, 0u) << where;
+    // Every sharing app fetches from some remote home.  Flush counters
+    // cover remote homes only, and an app whose writers happen to own
+    // their home units (MGS's cyclic vector layout at 4 K) legitimately
+    // flushes nothing across the wire — perfect home affinity.
+    EXPECT_GT(stats.comm.home_fetches, 0u) << where;
+    EXPECT_EQ(stats.net.messages(MessageKind::kHomeFlush),
+              stats.net.messages(MessageKind::kHomeFlushAck))
+        << where;
+    EXPECT_EQ(stats.net.messages(MessageKind::kHomeFetch),
+              stats.net.messages(MessageKind::kHomeFetchReply))
+        << where;
+    EXPECT_EQ(stats.net.messages(MessageKind::kDiffRequest), 0u) << where;
+    EXPECT_EQ(stats.net.messages(MessageKind::kDiffResponse), 0u) << where;
+    // Every delivered byte came out of a whole-unit home fetch, and the
+    // useful/useless split must still cover all of them (checked above).
+    EXPECT_EQ(stats.comm.home_fetch_bytes, stats.comm.delivered_data_bytes)
+        << where;
   } else {
     // Every conformance app shares data, so a multi-processor LRC run must
     // actually exercise the protocol.
@@ -104,6 +147,12 @@ void ExpectStatsSane(const ConformanceScenario& s, const Cell& cell,
     EXPECT_EQ(stats.net.messages(MessageKind::kDiffRequest),
               stats.net.messages(MessageKind::kDiffResponse))
         << where;
+    // Home traffic belongs to the HLRC backend alone.
+    EXPECT_EQ(stats.comm.home_flushes, 0u) << where;
+    EXPECT_EQ(stats.comm.home_fetches, 0u) << where;
+    EXPECT_EQ(stats.comm.home_flush_messages, 0u) << where;
+    EXPECT_EQ(stats.net.messages(MessageKind::kHomeFetch), 0u) << where;
+    EXPECT_EQ(stats.net.messages(MessageKind::kHomeFlush), 0u) << where;
   }
 }
 
@@ -156,9 +205,59 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(ConformanceCatalogue, CoversTheSweepFloor) {
-  // The harness promises ≥ 6 apps × 3 aggregation configs × 2 backends.
-  EXPECT_GE(ConformanceScenarios().size(), 6u);
-  EXPECT_EQ(SweepCells().size(), 6u);
+  // The harness promises ≥ 9 apps × 3 aggregation configs × 3 backends
+  // (3 aggregation cells per backend when DSM_BACKEND restricts the
+  // sweep to one).
+  EXPECT_GE(ConformanceScenarios().size(), 9u);
+  EXPECT_EQ(SweepCells().size(), 3u * SweepBackends().size());
+}
+
+// --- Fuzz at the wider span ---------------------------------------------------
+
+TEST(FuzzWide, AllBackendsAgreeBitForBit) {
+  // The "wide" dataset spreads the random mix over a 64-page span (16
+  // full 16 K units): a second fuzz shape, kept out of the per-app
+  // matrix for time but still pinned across every backend.
+  double first = 0.0;
+  for (BackendKind backend :
+       {BackendKind::kReference, BackendKind::kLrc, BackendKind::kHlrc}) {
+    RuntimeConfig cfg;
+    cfg.num_procs = 4;
+    cfg.backend = backend;
+    auto app = MakeApp("Fuzz", "wide");
+    const AppRun run = Execute(*app, cfg);
+    if (backend == BackendKind::kReference) {
+      first = run.result;
+    } else {
+      EXPECT_EQ(run.result, first) << cfg.BackendLabel();
+    }
+  }
+  EXPECT_NE(first, 0.0);
+}
+
+// --- HLRC home-assignment knob ----------------------------------------------
+
+TEST(HlrcHomeAssignment, BlockSizeNeverChangesResults) {
+  // hlrc_home_block_units moves data between homes (different message
+  // targets and combining) but must never change what a program computes.
+  const ConformanceScenario jacobi = ConformanceScenarios().front();
+  ASSERT_EQ(jacobi.app, "Jacobi");
+  double first = 0.0;
+  for (int block : {1, 2, 8}) {
+    RuntimeConfig cfg;
+    cfg.num_procs = jacobi.num_procs;
+    cfg.backend = BackendKind::kHlrc;
+    cfg.hlrc_home_block_units = block;
+    auto app = MakeApp(jacobi.app, jacobi.dataset);
+    const AppRun run = Execute(*app, cfg);
+    if (block == 1) {
+      first = run.result;
+      ExpectMatchesGolden(jacobi, run.result, "HLRC block=1");
+    } else {
+      EXPECT_EQ(run.result, first) << "block=" << block;
+    }
+    EXPECT_GT(run.stats.comm.home_flushes, 0u) << "block=" << block;
+  }
 }
 
 // --- Runtime misuse and error propagation ----------------------------------
