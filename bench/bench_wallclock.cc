@@ -17,9 +17,11 @@
 // binary a before/after gate for performance work.  Results land in
 // BENCH_wallclock.json at the repository root (override with --out=PATH)
 // so the perf trajectory is tracked from PR to PR.
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -137,6 +139,7 @@ const BackendPoint kBackends[] = {
 
 struct Row {
   std::string app, dataset, mode, backend;
+  int procs = 8;
   bool stable = false;
   double wall_ms = 0;
   double modelled_ms = 0;
@@ -144,6 +147,47 @@ struct Row {
   std::uint64_t fingerprint = 0;
   MemoryFootprint mem;
 };
+
+void Usage(std::FILE* f) {
+  std::fprintf(
+      f,
+      "usage: bench_wallclock [--procs=N[,N...]] [--gc=N] [--app=SUBSTR]\n"
+      "                       [--mode=SUBSTR] [--backend=LRC|HLRC]\n"
+      "                       [--out=PATH] [--baseline=PATH]\n");
+}
+
+// Validated numeric flag parsing: the whole token must be a base-10
+// integer >= min_value.  std::atoi silently turned garbage ('--procs=8x',
+// '--gc=') into 0 and ran a nonsense sweep; reject with a usage error.
+int ParseCount(const char* flag, const char* s, int min_value) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0' || v < min_value ||
+      v > 1 << 20) {
+    std::fprintf(stderr, "%s: invalid value '%s' (integer >= %d required)\n",
+                 flag, s, min_value);
+    Usage(stderr);
+    std::exit(2);
+  }
+  return static_cast<int>(v);
+}
+
+// --procs accepts a comma-separated sweep list ("--procs=8,16,64").
+std::vector<int> ParseProcsList(const char* s) {
+  std::vector<int> list;
+  std::string token;
+  for (const char* p = s;; ++p) {
+    if (*p != '\0' && *p != ',') {
+      token.push_back(*p);
+      continue;
+    }
+    list.push_back(ParseCount("--procs", token.c_str(), 1));
+    token.clear();
+    if (*p == '\0') break;
+  }
+  return list;
+}
 
 Row RunCell(const BenchScenario& s, const ModePoint& mode,
             const BackendPoint& backend, int num_procs, int gc_interval) {
@@ -164,6 +208,7 @@ Row RunCell(const BenchScenario& s, const ModePoint& mode,
   row.dataset = s.dataset;
   row.mode = mode.label;
   row.backend = backend.label;
+  row.procs = num_procs;
   row.stable = s.stable;
   row.wall_ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -178,6 +223,7 @@ Row RunCell(const BenchScenario& s, const ModePoint& mode,
 // per line): extracts (app, dataset, mode, stable, wall_ms) per row.
 struct BaselineRow {
   std::string app, dataset, mode, backend;
+  int procs = 8;
   bool stable = false;
   double wall_ms = 0;
 };
@@ -206,6 +252,9 @@ std::vector<BaselineRow> ReadBaseline(const std::string& path) {
     // Baselines written before the backend dimension existed are all LRC.
     r.backend = field(line, "\"backend\": \"");
     if (r.backend.empty()) r.backend = "LRC";
+    // Baselines written before the procs dimension are all 8-processor.
+    const char* pp = std::strstr(line, "\"procs\": ");
+    if (pp != nullptr) r.procs = std::atoi(pp + 9);
     r.stable = std::strstr(line, "\"stable\": true") != nullptr;
     const char* w = std::strstr(line, "\"wall_ms\": ");
     if (w != nullptr) r.wall_ms = std::atof(w + 11);
@@ -227,15 +276,15 @@ int CompareToBaseline(const std::vector<Row>& rows,
     const BaselineRow* base = nullptr;
     for (const BaselineRow& b : baseline) {
       if (b.app == r.app && b.dataset == r.dataset && b.mode == r.mode &&
-          b.backend == r.backend) {
+          b.backend == r.backend && b.procs == r.procs) {
         base = &b;
         break;
       }
     }
     if (base == nullptr) {
-      std::printf("baseline: %s/%s/%s/%s not in baseline (new row?)\n",
+      std::printf("baseline: %s/%s/%s/%s/p%d not in baseline (new row?)\n",
                   r.app.c_str(), r.dataset.c_str(), r.mode.c_str(),
-                  r.backend.c_str());
+                  r.backend.c_str(), r.procs);
       continue;
     }
     const double ratio = base->wall_ms > 0 ? r.wall_ms / base->wall_ms : 1.0;
@@ -244,9 +293,11 @@ int CompareToBaseline(const std::vector<Row>& rows,
     if (regressed) ++regressions;
     if (regressed || ratio > 1.0 + tolerance) {
       std::printf(
-          "baseline: %-8s %-10s %-4s %-4s %8.1f -> %8.1f ms (%+.0f%%)%s\n",
+          "baseline: %-8s %-10s %-4s %-4s p%-3d %8.1f -> %8.1f ms "
+          "(%+.0f%%)%s\n",
           r.app.c_str(), r.dataset.c_str(), r.mode.c_str(),
-          r.backend.c_str(), base->wall_ms, r.wall_ms, (ratio - 1.0) * 100,
+          r.backend.c_str(), r.procs, base->wall_ms, r.wall_ms,
+          (ratio - 1.0) * 100,
           regressed ? "  REGRESSION" : "  (unstable, not gated)");
     }
   }
@@ -272,7 +323,8 @@ void WriteJson(const std::vector<Row>& rows, const std::string& path) {
     std::fprintf(
         f,
         "    {\"app\": \"%s\", \"dataset\": \"%s\", \"mode\": "
-        "\"%s\", \"backend\": \"%s\", \"stable\": %s, \"wall_ms\": %.3f, "
+        "\"%s\", \"backend\": \"%s\", \"procs\": %d, \"stable\": %s, "
+        "\"wall_ms\": %.3f, "
         "\"modelled_ms\": %.6f, \"result\": %.17g, "
         "\"fingerprint\": \"%016llx\", "
         "\"peak_live_intervals\": %llu, \"peak_archive_bytes\": %llu, "
@@ -280,7 +332,8 @@ void WriteJson(const std::vector<Row>& rows, const std::string& path) {
         "\"gc_passes\": %llu, \"chains_built\": %llu, "
         "\"chains_shared\": %llu, \"records_elided\": %llu}%s\n",
         r.app.c_str(), r.dataset.c_str(), r.mode.c_str(), r.backend.c_str(),
-        r.stable ? "true" : "false", r.wall_ms, r.modelled_ms, r.result,
+        r.procs, r.stable ? "true" : "false", r.wall_ms, r.modelled_ms,
+        r.result,
         static_cast<unsigned long long>(r.fingerprint),
         static_cast<unsigned long long>(r.mem.peak_live_intervals),
         static_cast<unsigned long long>(r.mem.peak_archive_bytes),
@@ -307,7 +360,7 @@ int main(int argc, char** argv) {
 #else
   std::string out = "BENCH_wallclock.json";
 #endif
-  int num_procs = 8;
+  std::vector<int> procs_list;
   int gc_interval = dsm::RuntimeConfig{}.gc_interval_barriers;
   std::string app_filter, mode_filter, backend_filter, baseline_path;
   bool explicit_out = false;
@@ -315,42 +368,61 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out = argv[i] + 6;
       explicit_out = true;
-    }
-    // CI gate (see .github/workflows/ci.yml Release job): compare this
-    // sweep's host wall-clock against the committed BENCH_wallclock.json
-    // and exit non-zero if any STABLE row regressed more than 25% — the
-    // Water-class "GC quietly costs half the wall-clock" regressions get
-    // caught by the unstable-row report lines even though locks keep
-    // those rows from gating hard.
-    if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
+    } else if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
+      // CI gate (see .github/workflows/ci.yml Release job): compare this
+      // sweep's host wall-clock against the committed BENCH_wallclock.json
+      // and exit non-zero if any STABLE row regressed more than 25% — the
+      // Water-class "GC quietly costs half the wall-clock" regressions get
+      // caught by the unstable-row report lines even though locks keep
+      // those rows from gating hard.
       baseline_path = argv[i] + 11;
-    }
-    if (std::strncmp(argv[i], "--procs=", 8) == 0) {
-      num_procs = std::atoi(argv[i] + 8);
-    }
-    if (std::strncmp(argv[i], "--gc=", 5) == 0) {
-      gc_interval = std::atoi(argv[i] + 5);
-    }
-    // Row filters for local iteration (case-sensitive substring match, so
-    // the full 24-row sweep is not the only way to time one app):
-    //   --app=MGS --mode=16K
-    if (std::strncmp(argv[i], "--app=", 6) == 0) app_filter = argv[i] + 6;
-    if (std::strncmp(argv[i], "--mode=", 7) == 0) mode_filter = argv[i] + 7;
-    // Backend filter is an exact label ("LRC" / "HLRC"): substring
-    // matching would make --backend=LRC select both trajectories.
-    if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+    } else if (std::strncmp(argv[i], "--procs=", 8) == 0) {
+      procs_list = ParseProcsList(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--gc=", 5) == 0) {
+      gc_interval = ParseCount("--gc", argv[i] + 5, 0);
+    } else if (std::strncmp(argv[i], "--app=", 6) == 0) {
+      // Row filters for local iteration (case-sensitive substring match,
+      // so the full sweep is not the only way to time one app):
+      //   --app=MGS --mode=16K
+      app_filter = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--mode=", 7) == 0) {
+      mode_filter = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      // Backend filter is an exact label ("LRC" / "HLRC"): substring
+      // matching would make --backend=LRC select both trajectories.
       backend_filter = argv[i] + 10;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      Usage(stderr);
+      return 2;
     }
   }
+  const bool default_procs = procs_list.empty();
+  if (default_procs) procs_list.push_back(8);
   auto matches = [](const std::string& filter, const char* value) {
     return filter.empty() || std::string(value).find(filter) !=
                                  std::string::npos;
   };
 
   std::vector<Row> rows;
-  std::printf("%-8s %-10s %-4s %-4s %10s %14s  %-16s %-6s %12s %14s\n",
-              "app", "dataset", "cfg", "bknd", "wall(ms)", "modelled(ms)",
-              "fingerprint", "stable", "peak_ivals", "peak_arch_KB");
+  std::printf("%-8s %-10s %-4s %-4s %5s %10s %14s  %-16s %-6s %12s %14s\n",
+              "app", "dataset", "cfg", "bknd", "procs", "wall(ms)",
+              "modelled(ms)", "fingerprint", "stable", "peak_ivals",
+              "peak_arch_KB");
+  auto run_and_print = [&](const BenchScenario& s, const ModePoint& mode,
+                           const BackendPoint& backend, int np) {
+    Row row = RunCell(s, mode, backend, np, gc_interval);
+    std::printf(
+        "%-8s %-10s %-4s %-4s %5d %10.1f %14.3f  %016llx %-6s %12llu "
+        "%14llu\n",
+        row.app.c_str(), row.dataset.c_str(), row.mode.c_str(),
+        row.backend.c_str(), row.procs, row.wall_ms, row.modelled_ms,
+        static_cast<unsigned long long>(row.fingerprint),
+        row.stable ? "yes" : "no",
+        static_cast<unsigned long long>(row.mem.peak_live_intervals),
+        static_cast<unsigned long long>(row.mem.peak_archive_bytes / 1024));
+    rows.push_back(std::move(row));
+  };
   for (const BackendPoint& backend : kBackends) {
     if (!backend_filter.empty() && backend_filter != backend.label) {
       continue;
@@ -359,27 +431,29 @@ int main(int argc, char** argv) {
       if (!matches(app_filter, s.app)) continue;
       for (const ModePoint& mode : kModes) {
         if (!matches(mode_filter, mode.label)) continue;
-        Row row = RunCell(s, mode, backend, num_procs, gc_interval);
-        std::printf(
-            "%-8s %-10s %-4s %-4s %10.1f %14.3f  %016llx %-6s %12llu "
-            "%14llu\n",
-            row.app.c_str(), row.dataset.c_str(), row.mode.c_str(),
-            row.backend.c_str(), row.wall_ms, row.modelled_ms,
-            static_cast<unsigned long long>(row.fingerprint),
-            row.stable ? "yes" : "no",
-            static_cast<unsigned long long>(row.mem.peak_live_intervals),
-            static_cast<unsigned long long>(
-                row.mem.peak_archive_bytes / 1024));
-        rows.push_back(std::move(row));
+        for (int np : procs_list) run_and_print(s, mode, backend, np);
       }
     }
   }
-  // A filtered (or non-default-GC) run is a partial sweep: never let it
-  // silently clobber the tracked full-sweep baseline at the default path.
+  // A filtered (or non-default-GC, non-default-procs) run is a partial
+  // sweep: never let it silently clobber the tracked full-sweep baseline
+  // at the default path.
   const bool partial = !app_filter.empty() || !mode_filter.empty() ||
-                       !backend_filter.empty() ||
+                       !backend_filter.empty() || !default_procs ||
                        gc_interval !=
                            dsm::RuntimeConfig{}.gc_interval_barriers;
+  // Cluster-scaling trajectory (DESIGN.md §8): the full default sweep also
+  // times one bit-deterministic app with the processor count doubling past
+  // the paper's native 8, on both backends, so the sparse-clock and
+  // sharer-directory work is gated at scale from PR to PR.
+  if (!partial) {
+    const BenchScenario jacobi{"Jacobi", "1Kx1K", true};
+    for (const BackendPoint& backend : kBackends) {
+      for (int np : {16, 32, 64, 128}) {
+        run_and_print(jacobi, kModes[0], backend, np);
+      }
+    }
+  }
   // Read the baseline BEFORE writing results (--out may point at the
   // same file; CI reuses the committed baseline path for the artifact),
   // but always write the fresh sweep before gating — the regressed

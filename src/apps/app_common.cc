@@ -6,6 +6,16 @@ namespace dsm::apps {
 
 AppRun Execute(Application& app, RuntimeConfig cfg) {
   cfg.heap_bytes = app.heap_bytes();
+  // The apps size their fixed scratch slack (Reducer slots, shared
+  // scalars) for the paper's native 8 processors, and the Reducer is the
+  // only allocation that grows with the cluster — one page-padded slot
+  // per processor.  Charge the excess here so scaled clusters (--procs
+  // past 8) don't exhaust the heap; every run at <= 8 processors keeps
+  // its exact heap size, unit count, and modelled state.
+  if (cfg.num_procs > 8) {
+    cfg.heap_bytes +=
+        static_cast<std::size_t>(cfg.num_procs - 8) * kBasePageBytes;
+  }
   // Round the heap up to a whole number of consistency units.
   const std::size_t unit = cfg.unit_bytes();
   cfg.heap_bytes = (cfg.heap_bytes + unit - 1) / unit * unit;

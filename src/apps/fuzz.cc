@@ -10,6 +10,10 @@ FuzzParams FuzzDataset(const std::string& label) {
   // has something to aggregate) while keeping the conformance cell fast.
   if (label == "tiny") return {"tiny", 12, 10, 300, 8, 0x5eedf0ccull};
   if (label == "wide") return {"wide", 64, 8, 500, 16, 0x5eedf0cdull};
+  // Cluster-scaling conformance cells (tests/test_conformance.cc): the
+  // all-to-all word-interleaved sharing makes LRC work grow ~quadratically
+  // with the processor count, so the 64-way cells get a short mix.
+  if (label == "scale") return {"scale", 12, 4, 40, 8, 0x5eedf0ceull};
   DSM_CHECK(false) << "unknown Fuzz dataset " << label;
   return {};
 }

@@ -34,7 +34,7 @@ struct FuzzParams {
   std::uint64_t seed;       // expanded per processor
 };
 
-FuzzParams FuzzDataset(const std::string& label);  // "tiny", "wide"
+FuzzParams FuzzDataset(const std::string& label);  // "tiny", "wide", "scale"
 
 class Fuzz : public Application {
  public:

@@ -28,6 +28,8 @@ void CommBreakdown::Merge(const CommBreakdown& other) {
   diffs_applied += other.diffs_applied;
   units_invalidated += other.units_invalidated;
   group_prefetch_units += other.group_prefetch_units;
+  notice_clock_bytes += other.notice_clock_bytes;
+  notice_clock_bytes_dense += other.notice_clock_bytes_dense;
 }
 
 std::string CommBreakdown::ToString() const {
@@ -46,6 +48,10 @@ std::string CommBreakdown::ToString() const {
     out << "home: flushes=" << home_flushes << " (" << home_flush_bytes
         << " B) fetches=" << home_fetches << " (" << home_fetch_bytes
         << " B)\n";
+  }
+  if (notice_clock_bytes_dense > 0) {
+    out << "notice clocks: sparse=" << notice_clock_bytes
+        << " B dense-equivalent=" << notice_clock_bytes_dense << " B\n";
   }
   out << "signature:\n" << signature.ToString();
   return out.str();

@@ -75,6 +75,18 @@ struct CommBreakdown {
   std::uint64_t units_invalidated = 0;
   std::uint64_t group_prefetch_units = 0;  // units fetched via page groups
 
+  // Sparse-clock wire accounting (DESIGN.md §8), telemetry only: bytes
+  // the per-notice interval clocks would occupy under the run-length
+  // encoding versus the dense 4-bytes-per-proc form, summed over every
+  // notice this node consumed (barrier collection and lock grants).  The
+  // modelled 16-byte notice header abstracts the clock, so neither
+  // counter enters total_data_bytes() or the modelled fingerprint; the
+  // ratio is the scaling evidence — on low-sharing programs the sparse
+  // bytes track the writer-frontier count while the dense bytes track
+  // num_procs.
+  std::uint64_t notice_clock_bytes = 0;
+  std::uint64_t notice_clock_bytes_dense = 0;
+
   std::uint64_t total_messages() const {
     return useful_messages + useless_messages + sync_messages +
            home_flush_messages;

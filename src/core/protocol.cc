@@ -88,6 +88,8 @@ SharedState::SharedState(const RuntimeConfig& cfg)
   }
   canonical =
       std::make_unique<CanonicalStore>(heap.num_units(), heap.unit_bytes());
+  sharers = std::make_unique<SharerDirectory>(heap.num_units(), cfg.num_procs);
+  virgin_history.resize(heap.num_units());
   gc_dom_prefix.resize(cfg.num_procs);
   gc_dom_ready = std::vector<std::atomic<std::uint8_t>>(cfg.num_procs);
   for (auto& r : gc_dom_ready) r.store(0, std::memory_order_relaxed);
@@ -102,6 +104,7 @@ Node::Node(ProcId id, SharedState& shared)
                         shared.config.backend != BackendKind::kReference),
       hlrc_(protocol_enabled_ &&
             shared.config.backend == BackendKind::kHlrc),
+      twin_track_(hlrc_ && shared.config.hlrc_skip_clean_diff_scan),
       shared_access_cost_(shared.config.cost.shared_access),
       image_(shared.reference_image
                  ? nullptr
@@ -127,6 +130,7 @@ Node::Node(ProcId id, SharedState& shared)
     hlrc_flush_server_.assign(
         static_cast<std::size_t>(shared.config.num_procs), 0);
   }
+  if (twin_track_) twin_dirty_.assign(shared.heap.num_units(), 0);
 }
 
 void Node::ReadBytesSlow(GlobalAddr addr, void* out, std::size_t bytes) {
@@ -167,6 +171,10 @@ void Node::WriteBytesSlow(GlobalAddr addr, const void* in,
       tracker_.OnWrite(unit,
                        static_cast<std::uint32_t>(offset_in_unit / kWordBytes),
                        static_cast<std::uint32_t>(chunk / kWordBytes));
+      if (twin_track_ && twin_dirty_[unit] == 0 &&
+          std::memcmp(data_ + addr, src, chunk) != 0) {
+        twin_dirty_[unit] = 1;
+      }
     }
     std::memcpy(data_ + addr, src, chunk);
     addr += chunk;
@@ -213,6 +221,7 @@ void Node::TwinUnit(UnitId unit, bool cheap) {
   table_.set_state(unit, UnitState::kDirty);
   comm_stats_.counters().twins_created += 1;
   retwin_cheap_[unit] = 0;
+  if (twin_track_) twin_dirty_[unit] = 0;  // twin == image at creation
   // A fresh twin settles all drained requests; live (same-phase) request
   // flags are left for the next barrier drain, so a request concurrent
   // with this interval makes the NEXT re-twin expensive regardless of
@@ -235,6 +244,11 @@ void Node::ValidateUnit(UnitId unit) {
     clock_.Advance(cost.mprotect_op);
     return;
   }
+
+  // First fault on this unit adopts the shared virgin history (if any)
+  // into flattened_/elided_ and registers this node as a sharer, so the
+  // checks below see exactly the state the GC would have built per-node.
+  AdoptVirginState(unit);
 
   if (pending_[unit].empty() && flattened_[unit].empty()) {
     // Never reached under HLRC: a unit only goes invalid when a write
@@ -265,7 +279,9 @@ void Node::ValidateUnit(UnitId unit) {
     for (UnitId member : aggregator_.GroupOf(unit)) {
       if (member == unit) continue;
       if (table_.state(member) == UnitState::kInvalid &&
-          (!pending_[member].empty() || !flattened_[member].empty())) {
+          (!pending_[member].empty() || !flattened_[member].empty() ||
+           HasVirginChains(member))) {
+        AdoptVirginState(member);  // FetchUnits reads flattened_[member]
         fetch.push_back(member);
       }
     }
@@ -401,16 +417,25 @@ void Node::FetchUnits(const std::vector<UnitId>& units) {
       // foreign interval must be either not-after the head or after the
       // candidate tail.  (Foreign reclaimed intervals ordered after a
       // flattened head are recorded in its `blocked` flag; they can never
-      // be after a live tail.)
-      auto may_absorb = [&](Seq first_seq, const IntervalRecord& r) {
+      // be after a live tail.)  Since every candidate r is one of w's own
+      // records, "q after the head but not after the tail" collapses to
+      // first_seq <= q.vc[w] < r.seq — so, as in the GC's flatten pass,
+      // sort the foreign clock components once per (unit, writer) and
+      // answer each absorption check by binary search instead of
+      // rescanning the batch (the batch scan made this loop O(k²) per
+      // fault on rewrite-heavy units).
+      std::vector<Seq>& foreign_vcw = foreign_vcw_scratch_;
+      if (!chain_input.empty()) {
+        foreign_vcw.clear();
         for (const ResolvedDiff& q : all) {
-          if (q.rec->proc == w) continue;
-          if (q.rec->vc.Covers(w, first_seq) &&
-              !r.HappenedBefore(*q.rec)) {
-            return false;
-          }
+          if (q.rec->proc != w) foreign_vcw.push_back(q.rec->vc[w]);
         }
-        return true;
+        std::sort(foreign_vcw.begin(), foreign_vcw.end());
+      }
+      auto may_absorb = [&](Seq first_seq, const IntervalRecord& r) {
+        auto it = std::lower_bound(foreign_vcw.begin(), foreign_vcw.end(),
+                                   first_seq);
+        return it == foreign_vcw.end() || *it >= r.seq;
       };
 
       const IntervalRecord* chain_first = nullptr;
@@ -660,9 +685,24 @@ void Node::HlrcFlushInterval(bool lock_release) {
     // Notice-only record: the empty diff keeps the archive's units/diffs
     // parallel-array invariant without retaining any payload.
     rec.diffs.emplace_back();
-    const Diff diff = Diff::Create(table_.twin(unit), UnitSpan(unit));
+    // The modelled scan always runs — eager diffing is how the releaser
+    // discovers emptiness — even when the host-side scan below is
+    // skipped, so modelled time and counters are knob-independent.
     create_cost += cost.DiffCreateCost(unit_bytes_);
     comm_stats_.counters().diffs_created += 1;
+    if (twin_track_ && twin_dirty_[unit] == 0) {
+      // Clean twin: no byte changed since TwinUnit took the snapshot
+      // (WriteBytes keeps the flag exact with a value comparison), so the
+      // eager scan would yield an empty diff — nothing for the home and
+      // no flush message.  Skip the host-side twin comparison.
+      DSM_DCHECK(Diff::Create(table_.twin(unit), UnitSpan(unit)).empty());
+      table_.DropTwin(unit);
+      if (table_.state(unit) == UnitState::kDirty) {
+        table_.set_state(unit, UnitState::kReadValid);
+      }
+      continue;
+    }
+    const Diff diff = Diff::Create(table_.twin(unit), UnitSpan(unit));
     const ProcId home = shared_.HomeOf(unit);
     // An empty diff means the interval changed no bytes: the twin scan
     // above is still paid (eager diffing discovers the emptiness), but
@@ -779,7 +819,14 @@ void Node::HlrcFetchUnits(const std::vector<UnitId>& units) {
       // of the LRC path's "apply foreign diffs to image AND twin", so
       // diff(twin, image) still yields exactly the local modifications.
       Diff local;
-      if (twinned) local = Diff::Create(table_.twin(unit), dst);
+      if (twinned) {
+        if (!twin_track_ || twin_dirty_[unit] != 0) {
+          local = Diff::Create(table_.twin(unit), dst);
+        } else {
+          // Clean twin: the capture scan would find nothing.
+          DSM_DCHECK(Diff::Create(table_.twin(unit), dst).empty());
+        }
+      }
       {
         const std::byte* src =
             shared_.home_image.get() + shared_.heap.UnitBase(unit);
@@ -790,6 +837,9 @@ void Node::HlrcFetchUnits(const std::vector<UnitId>& units) {
         }
       }
       if (twinned && !local.empty()) local.Apply(dst);
+      // The twin now matches the home copy and the image differs from it
+      // by exactly `local`: re-anchor the clean flag.
+      if (twin_track_ && twinned) twin_dirty_[unit] = local.empty() ? 0 : 1;
       // Installing the received (or locally copied) unit is one memcpy.
       clock_.Advance(cost.TwinCost(unit_bytes_));
       if (track && remote) {
@@ -818,14 +868,17 @@ void Node::HlrcFetchUnits(const std::vector<UnitId>& units) {
 // idle window, where no peer can be appending or collecting.  This is the
 // whole HLRC memory story: records are notice-only metadata, and the log
 // stays bounded by how far the slowest consumer lags.
-void Node::HlrcPruneNotices() {
+//
+// `min_seen` is the componentwise floor the barrier manager accumulated
+// from every arriver's notices_seen_ (BarrierService::Result::min_seen).
+// Peers park between their Arrive and the Rendezvous with notices_seen_
+// frozen (consumption happens only in CollectNotices / InvalidateFrom,
+// which run after the Rendezvous releases them), so the arrival-time fold
+// equals the old in-window rescan of every node's vector while costing
+// O(num_procs) total instead of O(num_procs²) on proc 0.
+void Node::HlrcPruneNotices(const VectorClock& min_seen) {
   for (ProcId p = 0; p < num_procs(); ++p) {
-    Seq watermark = std::numeric_limits<Seq>::max();
-    for (ProcId q = 0; q < num_procs(); ++q) {
-      if (q == p) continue;  // a node never consumes its own notices
-      watermark = std::min(watermark, shared_.nodes[q]->notices_seen_[p]);
-    }
-    shared_.archives[p]->PruneThrough(watermark);
+    shared_.archives[p]->PruneThrough(min_seen[p]);
   }
 }
 
@@ -915,11 +968,7 @@ void Node::GcFlattenStripe(const VectorClock& through, int start,
     int di;
     std::uint64_t vc_sum;
   };
-  auto vc_sum_of = [](const IntervalRecord& r) {
-    std::uint64_t sum = 0;
-    for (int p = 0; p < r.vc.size(); ++p) sum += r.vc[p];
-    return sum;
-  };
+  auto vc_sum_of = [](const IntervalRecord& r) { return r.vc.Sum(); };
   // One reclaimed record is typically pending at most nodes; resolve each
   // (proc, seq) once per unit and reuse across the node loop.
   std::unordered_map<std::uint64_t, Resolved> resolve_memo;
@@ -945,15 +994,199 @@ void Node::GcFlattenStripe(const VectorClock& through, int start,
   };
   std::uint64_t chains_built = 0, chains_shared = 0, records_elided = 0;
 
+  // Dominated-writer scratch for the virgin bookkeeping below: one bit per
+  // processor with a dominated record naming the current unit this pass.
+  std::vector<std::uint64_t> dom_writers(
+      (static_cast<std::size_t>(nprocs) + 63) / 64);
+
   DSM_CHECK(gc_refs_.empty());
   for (UnitId u = static_cast<UnitId>(start); u < num_units;
        u += static_cast<UnitId>(step)) {
     chain_cache.clear();
     resolve_memo.clear();
+    SharedState::VirginHistory& virgin = shared.virgin_history[u];
+
+    // --- virgin-node bookkeeping (DESIGN.md §8) --------------------------
+    // Union of dominated writers over every node's pending entries.  A
+    // dominated record is pending at every node that never consumed it, so
+    // a writer absent here has no record entering any build this pass.
+    std::fill(dom_writers.begin(), dom_writers.end(), 0);
+    bool any_unit_dom = false;
+    for (ProcId x = 0; x < nprocs; ++x) {
+      for (const PendingInterval& pi : shared.nodes[x]->pending_[u]) {
+        if (pi.seq <= through[pi.proc]) {
+          dom_writers[static_cast<std::size_t>(pi.proc) >> 6] |=
+              std::uint64_t{1} << (pi.proc & 63);
+          any_unit_dom = true;
+        }
+      }
+    }
+    // A still-virgin node whose OWN records are about to be flattened
+    // stops being virgin now: it adopts the shared store — exactly its
+    // per-node state, by induction — and takes the per-node path below.
+    // Every remaining virgin's pending therefore holds the identical full
+    // dominated batch (pending never holds own records), which is what
+    // makes one shared store build exact for all of them.
+    if (any_unit_dom) {
+      for (ProcId w = 0; w < nprocs; ++w) {
+        if (((dom_writers[static_cast<std::size_t>(w) >> 6] >> (w & 63)) &
+             1) == 0) {
+          continue;
+        }
+        if (shared.sharers->Register(u, w)) continue;  // already a sharer
+        Node& writer = *shared.nodes[w];
+        if (!virgin.chains.empty()) writer.flattened_[u] = virgin.chains;
+        if (!virgin.elided.empty()) writer.elided_[u] = virgin.elided;
+      }
+    }
+    if (shared.sharers->SharerCount(u) == nprocs &&
+        (!virgin.chains.empty() || !virgin.elided.empty())) {
+      // Every node adopted the shared history; nothing will read it again.
+      std::vector<FlattenedChain>().swap(virgin.chains);
+      std::vector<DiffRun>().swap(virgin.elided);
+    }
+    bool virgin_built = false;        // store build done for this pass
+    std::uint64_t virgin_new_chains = 0;
+    std::uint64_t virgin_elided = 0;  // records elided by the store build
+    int virgin_consumers = 0;         // virgins with dominated pending
+
     for (ProcId x = 0; x < nprocs; ++x) {
       Node& node = *shared.nodes[x];
       std::vector<PendingInterval>& pend = node.pending_[u];
       if (pend.empty()) continue;
+      if (!shared.sharers->IsSharer(u, x)) {
+        // Virgin fast path (DESIGN.md §8): this node never faulted on the
+        // unit, so its dominated batch equals every other virgin's and —
+        // having consumed no deliveries — its read-interest bitmap is
+        // empty, collapsing the read-aware predicate to the record kind.
+        // The first virgin flattens the shared batch once into the virgin
+        // store; the rest only drop their dominated entries.  Chain
+        // headers thus stop scaling with the cluster size on units most
+        // nodes never touch.
+        live.clear();
+        kept.clear();
+        elide_accum.clear();
+        bool any_dom = false;
+        for (const PendingInterval& pi : pend) {
+          if (pi.seq > through[pi.proc]) {
+            live.push_back(pi);
+            continue;
+          }
+          any_dom = true;
+          if (virgin_built) continue;  // first virgin resolved the batch
+          const std::uint64_t rkey =
+              (std::uint64_t{static_cast<std::uint32_t>(pi.proc)} << 32) |
+              pi.seq;
+          auto memo = resolve_memo.find(rkey);
+          if (memo == resolve_memo.end()) {
+            const std::shared_ptr<const IntervalRecord>* owner =
+                find_dominated(pi.proc, pi.seq);
+            const IntervalRecord* rec = owner->get();
+            const int di = rec->IndexOf(u);
+            DSM_CHECK_GE(di, 0);
+            memo = resolve_memo
+                       .emplace(rkey,
+                                Resolved{rec, owner, di, vc_sum_of(*rec)})
+                       .first;
+            gc_refs_.push_back({u, rec, di, memo->second.vc_sum});
+          }
+          const Resolved& res = memo->second;
+          if (read_aware && res.rec->lock_release) {
+            const Diff& diff =
+                res.rec->diffs[static_cast<std::size_t>(res.di)];
+            elide_accum.insert(elide_accum.end(), diff.runs().begin(),
+                               diff.runs().end());
+            ++virgin_elided;
+            continue;
+          }
+          kept.push_back(res);
+        }
+        if (!any_dom) continue;
+        ++virgin_consumers;
+        pend.assign(live.begin(), live.end());
+        if (virgin_built) continue;
+        virgin_built = true;
+        if (!elide_accum.empty()) {
+          std::sort(elide_accum.begin(), elide_accum.end(),
+                    [](const DiffRun& a, const DiffRun& b) {
+                      return a.word_offset < b.word_offset;
+                    });
+          elide_canon.clear();
+          for (const DiffRun& r : elide_accum) {
+            if (!elide_canon.empty() &&
+                r.word_offset <= elide_canon.back().word_offset +
+                                     elide_canon.back().word_count) {
+              DiffRun& back = elide_canon.back();
+              const std::uint32_t end =
+                  std::max(back.word_offset + back.word_count,
+                           r.word_offset + r.word_count);
+              back.word_count = end - back.word_offset;
+            } else {
+              elide_canon.push_back(r);
+            }
+          }
+          if (virgin.elided.empty()) {
+            virgin.elided = elide_canon;
+          } else {
+            virgin.elided = Diff::MergeRuns(virgin.elided, elide_canon);
+          }
+        }
+        if (kept.empty()) continue;
+        for (ProcId w = 0; w < nprocs; ++w) foreign_vcw[w].clear();
+        for (const Resolved& q : kept) {
+          for (ProcId w = 0; w < nprocs; ++w) {
+            if (q.rec->proc != w) foreign_vcw[w].push_back(q.rec->vc[w]);
+          }
+        }
+        for (ProcId w = 0; w < nprocs; ++w) {
+          std::sort(foreign_vcw[w].begin(), foreign_vcw[w].end());
+        }
+        auto may_absorb_v = [&](ProcId w, Seq first_seq, Seq tail_seq) {
+          const std::vector<Seq>& v = foreign_vcw[w];
+          auto it = std::lower_bound(v.begin(), v.end(), first_seq);
+          return it == v.end() || *it >= tail_seq;
+        };
+        std::vector<FlattenedChain>& flat = virgin.chains;
+        for (ProcId w = 0; w < nprocs; ++w) {
+          std::size_t open = flat.size();
+          for (std::size_t i = 0; i < flat.size(); ++i) {
+            if (flat[i].writer == w) open = i;
+          }
+          for (const Resolved& r : kept) {
+            if (r.rec->proc != w) continue;
+            const Diff& diff =
+                r.rec->diffs[static_cast<std::size_t>(r.di)];
+            if (open != flat.size() && !flat[open].blocked &&
+                may_absorb_v(w, flat[open].first_seq, r.rec->seq)) {
+              FlattenedChain& c = flat[open];
+              ChainBody& b = c.MutableBody();
+              b.runs = Diff::MergeRuns(b.runs, diff.runs());
+              b.payload_words = Diff::RunWords(b.runs);
+              b.last_vc = r.rec->vc;
+              b.stamps = std::make_shared<const StampNode>(StampNode{
+                  StampRef{r.rec->diffed, static_cast<std::uint32_t>(r.di)},
+                  std::move(b.stamps)});
+              c.last_seq = r.rec->seq;
+            } else {
+              FlattenedChain c;
+              c.writer = w;
+              c.first_seq = r.rec->seq;
+              c.last_seq = r.rec->seq;
+              c.rec = *r.owner;
+              c.di = r.di;
+              flat.push_back(std::move(c));
+              ++virgin_new_chains;
+              open = flat.size() - 1;
+            }
+          }
+        }
+        for (FlattenedChain& c : flat) {
+          if (c.blocked) continue;
+          const std::vector<Seq>& v = foreign_vcw[c.writer];
+          if (!v.empty() && v.back() >= c.first_seq) c.blocked = true;
+        }
+        continue;
+      }
       live.clear();
       kept.clear();
       elide_accum.clear();
@@ -1147,6 +1380,16 @@ void Node::GcFlattenStripe(const VectorClock& through, int start,
       }
       chain_cache.emplace(key, x);
     }
+    // The store build ran once; credit it as if each consuming virgin had
+    // built (shared) it, keeping the counters comparable across runs with
+    // different sharer populations.
+    if (virgin_consumers > 0) {
+      chains_built += virgin_new_chains;
+      chains_shared +=
+          virgin_new_chains * static_cast<std::uint64_t>(virgin_consumers - 1);
+      records_elided +=
+          virgin_elided * static_cast<std::uint64_t>(virgin_consumers);
+    }
   }
   ArchiveTelemetry& tel = shared.archive_telemetry;
   tel.chains_built.fetch_add(chains_built, std::memory_order_relaxed);
@@ -1204,9 +1447,17 @@ void Node::GcApplyStripe(int start, int step) {
   for (UnitId u = static_cast<UnitId>(start); u < num_units;
        u += static_cast<UnitId>(step)) {
     if (!shared.canonical->Has(u)) continue;
-    bool needed = false;
-    for (ProcId x = 0; x < nprocs && !needed; ++x) {
-      needed = !shared.nodes[x]->flattened_[u].empty() ||
+    // The virgin store pins the base too: any never-faulted node may adopt
+    // its chains/elided runs at a later fault and silently refresh from it.
+    bool needed = !shared.virgin_history[u].chains.empty() ||
+                  !shared.virgin_history[u].elided.empty();
+    for (ProcId x = 0; x < nprocs; ++x) {
+      // Lazy-header invariant (DESIGN.md §8): per-node chain state exists
+      // only on registered sharers; everyone else reads the virgin store.
+      DSM_DCHECK((shared.nodes[x]->flattened_[u].empty() &&
+                  shared.nodes[x]->elided_[u].empty()) ||
+                 shared.sharers->IsSharer(u, x));
+      needed = needed || !shared.nodes[x]->flattened_[u].empty() ||
                !shared.nodes[x]->elided_[u].empty();
     }
     if (!needed) shared.canonical->Release(u);
@@ -1292,8 +1543,8 @@ void Node::Barrier() {
   CloseInterval();
   const std::size_t arrival_bytes = OutgoingNoticeBytes();
 
-  BarrierService::Result res =
-      shared_.barrier->Arrive(id_, vc_, clock_.now(), arrival_bytes);
+  BarrierService::Result res = shared_.barrier->Arrive(
+      id_, vc_, clock_.now(), arrival_bytes, hlrc_ ? &notices_seen_ : nullptr);
 
   // Extended barrier window: every processor is now inside the barrier,
   // so no diff request is in flight anywhere.  Drain the request flags
@@ -1369,7 +1620,7 @@ void Node::Barrier() {
   // every peer is parked between Arrive and Rendezvous, so their
   // notices_seen_ clocks are frozen and nobody can be collecting from
   // the archives being pruned.
-  if (hlrc_ && id_ == 0) HlrcPruneNotices();
+  if (hlrc_ && id_ == 0) HlrcPruneNotices(res.min_seen);
   shared_.barrier->Rendezvous();
   // History maintenance after the rendezvous: ordered after every
   // gc_through copy above and before any node's next barrier (its next
@@ -1391,6 +1642,13 @@ void Node::Barrier() {
   std::size_t incoming_bytes = 0;
   std::vector<const IntervalRecord*>& records = notice_scratch_;
   CollectNotices(res.global_vc, &incoming_bytes, records);
+  // Sparse-clock telemetry (DESIGN.md §8): wire bytes the consumed
+  // notices' interval clocks would cost, run-length encoded vs dense.
+  for (const IntervalRecord* rec : records) {
+    comm_stats_.counters().notice_clock_bytes += rec->vc.EncodedBytes();
+  }
+  comm_stats_.counters().notice_clock_bytes_dense +=
+      records.size() * VectorClock::DenseEncodedBytes(num_procs());
 
   // Modelled barrier cost (centralized manager at proc 0): all clients ship
   // arrival messages; the manager processes every arrival, then ships
@@ -1450,6 +1708,11 @@ void Node::AcquireLock(int lock_id) {
   std::size_t notice_bytes = 0;
   std::vector<const IntervalRecord*>& records = notice_scratch_;
   CollectNotices(target, &notice_bytes, records);
+  for (const IntervalRecord* rec : records) {
+    comm_stats_.counters().notice_clock_bytes += rec->vc.EncodedBytes();
+  }
+  comm_stats_.counters().notice_clock_bytes_dense +=
+      records.size() * VectorClock::DenseEncodedBytes(num_procs());
 
   // Request travels to the manager/holder; the grant returns with the
   // write notices the acquirer has not yet seen.  The grant cannot arrive

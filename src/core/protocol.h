@@ -39,6 +39,7 @@
 #include "core/write_notice.h"
 #include "mem/global_heap.h"
 #include "mem/page_table.h"
+#include "mem/sharer_directory.h"
 #include "mem/word_tracker.h"
 #include "net/net_stats.h"
 #include "sim/virtual_clock.h"
@@ -85,6 +86,23 @@ struct SharedState {
   // to std::thread::hardware_concurrency() once at construction, so every
   // node derives the same pass mode).
   std::size_t gc_serial_pass_limit = 0;
+  // Per-unit sharer directory (DESIGN.md §8): which processors have ever
+  // faulted on each unit.  Nodes register on the fault path; the GC and
+  // its invariant checks read inside the barrier window.
+  std::unique_ptr<SharerDirectory> sharers;
+  // Reclaimed history shared by every node that never faulted on the unit
+  // (DESIGN.md §8).  All such "virgin" nodes hold identical dominated
+  // pending sets (they pass every barrier and never consume notices), so
+  // the GC flattens their history once per unit here instead of growing a
+  // chain-header vector on each of them; a node copies the unit's entry
+  // into its own flattened_/elided_ at its first fault and is a sharer
+  // from then on.  Mutated only inside the GC window; read (and copied)
+  // by fault paths, which the window's barrier happens-before.
+  struct VirginHistory {
+    std::vector<FlattenedChain> chains;
+    std::vector<DiffRun> elided;
+  };
+  std::vector<VirginHistory> virgin_history;
 
   // Home node of `unit` under kHlrc: round-robin over processors in
   // blocks of config.hlrc_home_block_units units.
@@ -239,12 +257,36 @@ class Node {
   // Barrier-window notice-log maintenance (proc 0, inside the idle
   // window): prune every archived notice record that every other node has
   // already processed — the HLRC counterpart of the LRC archive GC,
-  // trivial because the records are metadata-only.
-  void HlrcPruneNotices();
+  // trivial because the records are metadata-only.  `min_seen` is the
+  // barrier-aggregated floor of the peers' notices_seen_ clocks
+  // (min_seen[p] = min over q != p of notices_seen_q[p], accumulated by
+  // BarrierService::Arrive), which replaces the old O(num_procs²)
+  // all-pairs scan over the parked nodes (DESIGN.md §8).
+  void HlrcPruneNotices(const VectorClock& min_seen);
 
   // Mark a clean unit dirty (twin + unprotect).  `cheap` re-twins carry no
   // modelled cost (lazy-diffing regime, see WriteFault).
   void TwinUnit(UnitId unit, bool cheap = false);
+
+  // First-fault bookkeeping for `unit` (DESIGN.md §8): register this node
+  // in the sharer directory and, if it was a virgin until now, copy the
+  // unit's shared virgin history into this node's flattened_/elided_.
+  // Chain headers are thereby allocated lazily — a node carries them only
+  // for units it has actually faulted on.
+  void AdoptVirginState(UnitId unit) {
+    if (shared_.sharers->Register(unit, id_)) return;
+    const SharedState::VirginHistory& v = shared_.virgin_history[unit];
+    if (!v.chains.empty()) flattened_[unit] = v.chains;
+    if (!v.elided.empty()) elided_[unit] = v.elided;
+  }
+
+  // Would this still-virgin node have reclaimed chains pending for `unit`?
+  // The group-prefetch predicate's stand-in for the flattened_ check on
+  // units this node has never faulted on.
+  bool HasVirginChains(UnitId unit) const {
+    return !shared_.sharers->IsSharer(unit, id_) &&
+           !shared_.virgin_history[unit].chains.empty();
+  }
 
   // Collect archive records newly covered by `target` (all procs except
   // self), in (proc, seq) order, into `out` (cleared first; callers pass
@@ -273,6 +315,12 @@ class Node {
   // Home-based LRC backend active (protocol on + BackendKind::kHlrc):
   // releases flush to homes, faults fetch whole units, no archive GC.
   const bool hlrc_;
+  // HLRC clean-twin tracking on (hlrc_ && config.hlrc_skip_clean_diff_scan):
+  // writes compare against the image until a byte actually changes, letting
+  // the eager release-time diff scan short-circuit for value-identical
+  // writes (the diff would be empty).  Host-side only — the modelled diff
+  // cost and message counts are unchanged.
+  const bool twin_track_;
   // Per-word cost of a shared access, cached off the config for the
   // fast path.
   const VirtualNanos shared_access_cost_;
@@ -305,6 +353,9 @@ class Node {
   std::vector<std::uint8_t> retwin_cheap_;
   std::vector<std::atomic<std::uint8_t>> diff_requested_;
   std::vector<std::uint8_t> diff_request_seen_;
+  // Clean-twin flags (sized num_units only when twin_track_): 0 while the
+  // unit's bytes still equal its twin, 1 once a write changed anything.
+  std::vector<std::uint8_t> twin_dirty_;
   // Completed barrier phases (identical on every node at any given phase).
   std::uint32_t sync_phase_ = 0;
   // Lock-chain sub-phase: the service-wide position of this node's most
@@ -358,6 +409,7 @@ class Node {
   std::vector<std::vector<NeedEntry>> needs_by_writer_;  // indexed by proc
   std::vector<ResolvedDiff> resolved_scratch_;        // FetchUnits
   std::vector<const ResolvedDiff*> chain_scratch_;    // FetchUnits
+  std::vector<Seq> foreign_vcw_scratch_;              // FetchUnits
   std::deque<Diff> merged_scratch_;                   // FetchUnits
   std::vector<NeedEntry> apply_scratch_;              // FetchUnits
   std::vector<const Diff*> absorbed_scratch_;         // FetchUnits
@@ -426,6 +478,10 @@ inline void Node::WriteBytes(GlobalAddr addr, const void* in,
       tracker_.OnWrite(unit,
                        static_cast<std::uint32_t>(offset_in_unit / kWordBytes),
                        static_cast<std::uint32_t>(bytes / kWordBytes));
+      if (twin_track_ && twin_dirty_[unit] == 0 &&
+          std::memcmp(data_ + addr, in, bytes) != 0) {
+        twin_dirty_[unit] = 1;
+      }
     }
     std::memcpy(data_ + addr, in, bytes);
     clock_.Advance(static_cast<VirtualNanos>(bytes / kWordBytes) *

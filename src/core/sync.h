@@ -28,15 +28,23 @@ class BarrierService {
     VectorClock global_vc;      // max over all arrivals
     VirtualNanos base_time;     // modelled manager release time
     std::size_t max_arrival_bytes = 0;
+    // Componentwise minimum over the arrivers' consumed-notice clocks
+    // (each arriver's own component excluded — a node never consumes its
+    // own notices).  All-max when no arriver contributed one.  The HLRC
+    // backend prunes each notice log to this floor in O(num_procs)
+    // instead of rescanning every node's consumption vector.
+    VectorClock min_seen;
   };
 
   // Blocks until all processors arrive.  `arrival_time` is the caller's
   // virtual clock at arrival and `arrival_bytes` the write-notice payload
   // it ships to the manager.  The last arriver computes the result.
   // The modelled cost formula lives in the caller (Node::Barrier), which
-  // combines this result with the network/cost models.
+  // combines this result with the network/cost models.  `seen`, if
+  // non-null, is folded into Result::min_seen.
   Result Arrive(ProcId proc, const VectorClock& vc, VirtualNanos arrival_time,
-                std::size_t arrival_bytes);
+                std::size_t arrival_bytes,
+                const VectorClock* seen = nullptr);
 
   // Pure host-level rendezvous with no clock, vc, or statistics effects.
   // The protocol calls it right after Arrive to extend the barrier into a
@@ -65,6 +73,7 @@ class BarrierService {
   // checkpoint/restore or clock-reset path cannot leak stale maxima into
   // the next generation's global clock.
   VectorClock pending_vc_;
+  VectorClock min_seen_;  // accumulator for Result::min_seen
   VirtualNanos max_arrival_ = 0;
   std::size_t max_bytes_ = 0;
   Result current_;

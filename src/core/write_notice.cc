@@ -50,6 +50,9 @@ const IntervalRecord* IntervalArchive::Append(IntervalRecord record) {
   DSM_CHECK(records_.empty() || records_.back()->seq < record.seq)
       << "archive appends must be in increasing seq order";
   DSM_CHECK_EQ(record.units.size(), record.diffs.size());
+  // Archived records are immutable and shared; compact the close-time
+  // clock to its run-length form (DESIGN.md §8).
+  record.vc.Freeze();
   record.diffed.reset(
       new std::atomic<std::uint64_t>[record.units.size()]());
   if (telemetry_ != nullptr) telemetry_->OnAppend(record.RetainedBytes());

@@ -219,6 +219,79 @@ TEST(GcBasePlusTail, LateFaultMatchesFullHistoryBitForBit) {
   ExpectModelledStateEqual(on.stats, off.stats, "late reader");
 }
 
+// --- virgin store: chain headers live only on sharers ------------------------
+//
+// One writer rewrites a unit for many epochs while the rest of the
+// cluster never touches it.  The per-unit sharer directory must keep
+// every never-faulting processor on the single shared virgin image
+// (DESIGN.md §8): chain bodies built are a property of the write history
+// and must not move when the cluster grows, while the shared-header
+// count grows with the virgin population.  And the whole mechanism stays
+// modelled-invisible at the scaled size.
+struct VirginOutcome {
+  std::vector<int> values;
+  RunStats stats;
+};
+
+VirginOutcome RunVirgin(int nprocs, int gc_interval) {
+  RuntimeConfig cfg;
+  cfg.num_procs = nprocs;
+  cfg.heap_bytes = 1u << 20;
+  cfg.gc_interval_barriers = gc_interval;
+  constexpr int kEpochs = 10;
+  constexpr std::size_t kWords = 16;
+
+  Runtime rt(cfg);
+  auto data = rt.Alloc<int>(1024, "data");
+  VirginOutcome out;
+  std::mutex mu;
+  rt.Run([&](Proc& p) {
+    for (int e = 0; e < kEpochs; ++e) {
+      if (p.id() == 0) {
+        for (std::size_t i = 0; i < kWords; ++i) {
+          p.Write(data, i, 100 * (e + 1) + static_cast<int>(i));
+        }
+      }
+      p.Barrier();
+    }
+    // Proc 1 faults only after the last collection: during every GC pass
+    // all processors but the writer are virgin.
+    if (p.id() == 1) {
+      std::vector<int> got;
+      for (std::size_t i = 0; i < kWords; ++i) got.push_back(p.Read(data, i));
+      std::lock_guard lock(mu);
+      out.values = std::move(got);
+    }
+    p.Barrier();
+  });
+  out.stats = rt.CollectStats();
+  return out;
+}
+
+TEST(GcVirginStore, ChainHeadersStayOffNonSharers) {
+  const VirginOutcome off = RunVirgin(16, 0);
+  const VirginOutcome small = RunVirgin(4, 1);
+  const VirginOutcome big = RunVirgin(16, 1);
+
+  // The late reader saw the final epoch, and GC stayed bit-invisible at
+  // the scaled cluster size.
+  ASSERT_EQ(big.values.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(big.values[i], 1000 + static_cast<int>(i)) << "word " << i;
+  }
+  EXPECT_EQ(big.values, off.values);
+  ExpectModelledStateEqual(big.stats, off.stats, "virgin 16p");
+
+  // Chain bodies track the write history, not the cluster: the 12 extra
+  // never-faulting processors ride the shared virgin image instead of
+  // getting per-node headers (the old per-node residual would make this
+  // scale linearly in nprocs).
+  EXPECT_GT(small.stats.mem.chains_built, 0u);
+  EXPECT_EQ(big.stats.mem.chains_built, small.stats.mem.chains_built);
+  // ...while each extra virgin consumer is accounted as a shared header.
+  EXPECT_GT(big.stats.mem.chains_shared, small.stats.mem.chains_shared);
+}
+
 // --- lock-heavy sweeps -------------------------------------------------------
 //
 // Water and TSP synchronize through locks, whose grant order is host
@@ -442,6 +515,64 @@ TEST(GcBoundedArchive, MgsPeakLiveIntervalsDoNotScaleWithBarriers) {
   EXPECT_GT(on.gc_passes, 10u);
   EXPECT_GT(on.reclaimed_intervals, 100u);
   EXPECT_LT(on.peak_archive_bytes, off.peak_archive_bytes / 4);
+}
+
+// --- HLRC clean-twin skip ----------------------------------------------------
+//
+// hlrc_skip_clean_diff_scan is a host-side fast path: when a twin is
+// known clean (every write since TwinUnit restored the twin's value),
+// the flush and fetch paths skip the word-by-word diff scan but must
+// still charge the exact modelled costs of the scan they skipped.  A/B
+// the knob on a program that mixes value-identical rewrites (unit 0 —
+// clean twin every epoch after the first) with genuinely-changing writes
+// (unit 1): results and every modelled quantity must be bit-identical.
+TEST(HlrcCleanTwin, SkipKnobIsBitInvisible) {
+  auto run = [](bool skip) {
+    RuntimeConfig cfg;
+    cfg.num_procs = 4;
+    cfg.backend = BackendKind::kHlrc;
+    cfg.heap_bytes = 1u << 20;
+    cfg.hlrc_skip_clean_diff_scan = skip;
+    constexpr int kEpochs = 8;
+
+    Runtime rt(cfg);
+    auto data = rt.AllocUnitAligned<int>(2048, "data");  // two 4K units
+    std::vector<int> seen;
+    std::mutex mu;
+    rt.Run([&](Proc& p) {
+      std::vector<int> got;
+      for (int e = 0; e < kEpochs; ++e) {
+        if (p.id() == 0) {
+          // Unit 0: value-identical rewrites — the twin ends each epoch
+          // clean, yet the flush must charge the full scan accounting.
+          for (std::size_t i = 0; i < 8; ++i) {
+            p.Write(data, i, 7 * static_cast<int>(i));
+          }
+          // Unit 1: a word that really changes — the dirty path.
+          p.Write(data, 1024, e * 10);
+        }
+        p.Barrier();
+        if (p.id() == 1) {
+          got.push_back(p.Read(data, 0));
+          got.push_back(p.Read(data, 1024));
+        }
+        p.Barrier();
+      }
+      if (p.id() == 1) {
+        std::lock_guard lock(mu);
+        seen = std::move(got);
+      }
+    });
+    return std::make_pair(std::move(seen), rt.CollectStats());
+  };
+
+  const auto [values_on, stats_on] = run(true);
+  const auto [values_off, stats_off] = run(false);
+  ASSERT_EQ(values_on.size(), 16u);
+  EXPECT_EQ(values_on, values_off);
+  EXPECT_EQ(values_on[1], 0);
+  EXPECT_EQ(values_on[15], 70);
+  ExpectModelledStateEqual(stats_on, stats_off, "clean-twin skip");
 }
 
 }  // namespace
