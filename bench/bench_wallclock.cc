@@ -79,6 +79,18 @@ std::uint64_t ModelledFingerprint(double result, const RunStats& stats) {
       fp.Mix(v);
     }
   }
+  // Crash-recovery counters (DESIGN.md §9), same zero-entry skip rule:
+  // a run with no fired fault hashes exactly as before the subsystem
+  // existed; a faulted row pins the full recovery trajectory (messages,
+  // bytes, rebuilt units, replayed records, modelled latency).
+  if (c.recoveries > 0) {
+    for (std::uint64_t v : {c.recoveries, c.recovery_messages,
+                            c.recovery_data_bytes, c.recovery_units,
+                            c.recovery_records}) {
+      fp.Mix(v);
+    }
+    fp.Mix(static_cast<std::uint64_t>(stats.recovery_modelled_ns));
+  }
   for (std::size_t k = 0; k < kNumMessageKinds; ++k) {
     const auto kind = static_cast<MessageKind>(k);
     const std::uint64_t msgs = stats.net.messages(kind);
@@ -139,6 +151,7 @@ const BackendPoint kBackends[] = {
 
 struct Row {
   std::string app, dataset, mode, backend;
+  std::string fault;  // crash-plan spec, "" = failure-free row
   int procs = 8;
   bool stable = false;
   double wall_ms = 0;
@@ -153,6 +166,7 @@ void Usage(std::FILE* f) {
       f,
       "usage: bench_wallclock [--procs=N[,N...]] [--gc=N] [--app=SUBSTR]\n"
       "                       [--mode=SUBSTR] [--backend=LRC|HLRC]\n"
+      "                       [--fault=barrier:V@N|release:V@M|seed:S]\n"
       "                       [--out=PATH] [--baseline=PATH]\n");
 }
 
@@ -173,6 +187,50 @@ int ParseCount(const char* flag, const char* s, int min_value) {
   return static_cast<int>(v);
 }
 
+// A crash plan plus the row tag it is reported under.  Default = inert.
+struct FaultSpec {
+  std::string label;  // "" = no fault
+  dsm::FaultPlan plan;
+};
+
+// --fault accepts "barrier:V@N" (kill proc V at its N-th barrier),
+// "release:V@M" (kill proc V after its M-th interval close), or
+// "seed:S" (plan fully derived from the 64-bit seed S).  Anything else is
+// a usage error (exit 2) — a silently ignored crash spec would report
+// failure-free numbers as a fault row.
+FaultSpec ParseFaultSpec(const char* s) {
+  auto fail = [s]() -> FaultSpec {
+    std::fprintf(stderr,
+                 "--fault: invalid spec '%s' (want barrier:V@N, "
+                 "release:V@M, or seed:S)\n",
+                 s);
+    Usage(stderr);
+    std::exit(2);
+  };
+  FaultSpec spec;
+  spec.label = s;
+  if (std::strncmp(s, "seed:", 5) == 0) {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long seed = std::strtoull(s + 5, &end, 10);
+    if (errno != 0 || end == s + 5 || *end != '\0') return fail();
+    spec.plan = dsm::FaultPlan::FromSeed(seed);
+    return spec;
+  }
+  const bool at_barrier = std::strncmp(s, "barrier:", 8) == 0;
+  const bool after_release = std::strncmp(s, "release:", 8) == 0;
+  if (!at_barrier && !after_release) return fail();
+  const char* p = s + 8;
+  const char* at = std::strchr(p, '@');
+  if (at == nullptr || at == p || at[1] == '\0') return fail();
+  const int victim =
+      ParseCount("--fault victim", std::string(p, at).c_str(), 1);
+  const int point = ParseCount("--fault point", at + 1, at_barrier ? 0 : 1);
+  spec.plan = at_barrier ? dsm::FaultPlan::AtBarrier(victim, point)
+                         : dsm::FaultPlan::AfterRelease(victim, point);
+  return spec;
+}
+
 // --procs accepts a comma-separated sweep list ("--procs=8,16,64").
 std::vector<int> ParseProcsList(const char* s) {
   std::vector<int> list;
@@ -190,13 +248,15 @@ std::vector<int> ParseProcsList(const char* s) {
 }
 
 Row RunCell(const BenchScenario& s, const ModePoint& mode,
-            const BackendPoint& backend, int num_procs, int gc_interval) {
+            const BackendPoint& backend, int num_procs, int gc_interval,
+            const FaultSpec& fault) {
   RuntimeConfig cfg;
   cfg.num_procs = num_procs;
   cfg.aggregation = mode.mode;
   cfg.pages_per_unit = mode.pages_per_unit;
   cfg.backend = backend.backend;
   cfg.gc_interval_barriers = gc_interval;
+  cfg.fault = fault.plan;
 
   auto app = apps::MakeApp(s.app, s.dataset);
   const auto t0 = std::chrono::steady_clock::now();
@@ -208,6 +268,7 @@ Row RunCell(const BenchScenario& s, const ModePoint& mode,
   row.dataset = s.dataset;
   row.mode = mode.label;
   row.backend = backend.label;
+  row.fault = fault.label;
   row.procs = num_procs;
   row.stable = s.stable;
   row.wall_ms =
@@ -223,6 +284,7 @@ Row RunCell(const BenchScenario& s, const ModePoint& mode,
 // per line): extracts (app, dataset, mode, stable, wall_ms) per row.
 struct BaselineRow {
   std::string app, dataset, mode, backend;
+  std::string fault;  // absent in pre-fault baselines → ""
   int procs = 8;
   bool stable = false;
   double wall_ms = 0;
@@ -252,6 +314,9 @@ std::vector<BaselineRow> ReadBaseline(const std::string& path) {
     // Baselines written before the backend dimension existed are all LRC.
     r.backend = field(line, "\"backend\": \"");
     if (r.backend.empty()) r.backend = "LRC";
+    // Rows written before the fault dimension (or failure-free rows, which
+    // omit the field) are all failure-free.
+    r.fault = field(line, "\"fault\": \"");
     // Baselines written before the procs dimension are all 8-processor.
     const char* pp = std::strstr(line, "\"procs\": ");
     if (pp != nullptr) r.procs = std::atoi(pp + 9);
@@ -276,7 +341,8 @@ int CompareToBaseline(const std::vector<Row>& rows,
     const BaselineRow* base = nullptr;
     for (const BaselineRow& b : baseline) {
       if (b.app == r.app && b.dataset == r.dataset && b.mode == r.mode &&
-          b.backend == r.backend && b.procs == r.procs) {
+          b.backend == r.backend && b.fault == r.fault &&
+          b.procs == r.procs) {
         base = &b;
         break;
       }
@@ -320,10 +386,15 @@ void WriteJson(const std::vector<Row>& rows, const std::string& path) {
   std::fprintf(f, "{\n  \"rows\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
+    // Failure-free rows omit the fault field entirely (zero-entry skip
+    // rule): a pre-fault baseline and a regenerated one stay line-for-line
+    // comparable on every pre-existing row.
+    const std::string fault_field =
+        r.fault.empty() ? "" : "\"fault\": \"" + r.fault + "\", ";
     std::fprintf(
         f,
         "    {\"app\": \"%s\", \"dataset\": \"%s\", \"mode\": "
-        "\"%s\", \"backend\": \"%s\", \"procs\": %d, \"stable\": %s, "
+        "\"%s\", \"backend\": \"%s\", %s\"procs\": %d, \"stable\": %s, "
         "\"wall_ms\": %.3f, "
         "\"modelled_ms\": %.6f, \"result\": %.17g, "
         "\"fingerprint\": \"%016llx\", "
@@ -332,7 +403,8 @@ void WriteJson(const std::vector<Row>& rows, const std::string& path) {
         "\"gc_passes\": %llu, \"chains_built\": %llu, "
         "\"chains_shared\": %llu, \"records_elided\": %llu}%s\n",
         r.app.c_str(), r.dataset.c_str(), r.mode.c_str(), r.backend.c_str(),
-        r.procs, r.stable ? "true" : "false", r.wall_ms, r.modelled_ms,
+        fault_field.c_str(), r.procs, r.stable ? "true" : "false", r.wall_ms,
+        r.modelled_ms,
         r.result,
         static_cast<unsigned long long>(r.fingerprint),
         static_cast<unsigned long long>(r.mem.peak_live_intervals),
@@ -363,6 +435,7 @@ int main(int argc, char** argv) {
   std::vector<int> procs_list;
   int gc_interval = dsm::RuntimeConfig{}.gc_interval_barriers;
   std::string app_filter, mode_filter, backend_filter, baseline_path;
+  FaultSpec fault_spec;  // inert unless --fault= is given
   bool explicit_out = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) {
@@ -391,6 +464,9 @@ int main(int argc, char** argv) {
       // Backend filter is an exact label ("LRC" / "HLRC"): substring
       // matching would make --backend=LRC select both trajectories.
       backend_filter = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--fault=", 8) == 0) {
+      // Run every selected row under this crash plan (DESIGN.md §9).
+      fault_spec = ParseFaultSpec(argv[i] + 8);
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
       Usage(stderr);
@@ -410,17 +486,19 @@ int main(int argc, char** argv) {
               "modelled(ms)", "fingerprint", "stable", "peak_ivals",
               "peak_arch_KB");
   auto run_and_print = [&](const BenchScenario& s, const ModePoint& mode,
-                           const BackendPoint& backend, int np) {
-    Row row = RunCell(s, mode, backend, np, gc_interval);
+                           const BackendPoint& backend, int np,
+                           const FaultSpec& fault) {
+    Row row = RunCell(s, mode, backend, np, gc_interval, fault);
     std::printf(
         "%-8s %-10s %-4s %-4s %5d %10.1f %14.3f  %016llx %-6s %12llu "
-        "%14llu\n",
+        "%14llu%s%s\n",
         row.app.c_str(), row.dataset.c_str(), row.mode.c_str(),
         row.backend.c_str(), row.procs, row.wall_ms, row.modelled_ms,
         static_cast<unsigned long long>(row.fingerprint),
         row.stable ? "yes" : "no",
         static_cast<unsigned long long>(row.mem.peak_live_intervals),
-        static_cast<unsigned long long>(row.mem.peak_archive_bytes / 1024));
+        static_cast<unsigned long long>(row.mem.peak_archive_bytes / 1024),
+        row.fault.empty() ? "" : "  fault=", row.fault.c_str());
     rows.push_back(std::move(row));
   };
   for (const BackendPoint& backend : kBackends) {
@@ -431,15 +509,18 @@ int main(int argc, char** argv) {
       if (!matches(app_filter, s.app)) continue;
       for (const ModePoint& mode : kModes) {
         if (!matches(mode_filter, mode.label)) continue;
-        for (int np : procs_list) run_and_print(s, mode, backend, np);
+        for (int np : procs_list) {
+          run_and_print(s, mode, backend, np, fault_spec);
+        }
       }
     }
   }
-  // A filtered (or non-default-GC, non-default-procs) run is a partial
-  // sweep: never let it silently clobber the tracked full-sweep baseline
-  // at the default path.
+  // A filtered (or non-default-GC, non-default-procs, explicitly faulted)
+  // run is a partial sweep: never let it silently clobber the tracked
+  // full-sweep baseline at the default path.
   const bool partial = !app_filter.empty() || !mode_filter.empty() ||
                        !backend_filter.empty() || !default_procs ||
+                       !fault_spec.label.empty() ||
                        gc_interval !=
                            dsm::RuntimeConfig{}.gc_interval_barriers;
   // Cluster-scaling trajectory (DESIGN.md §8): the full default sweep also
@@ -450,7 +531,21 @@ int main(int argc, char** argv) {
     const BenchScenario jacobi{"Jacobi", "1Kx1K", true};
     for (const BackendPoint& backend : kBackends) {
       for (int np : {16, 32, 64, 128}) {
-        run_and_print(jacobi, kModes[0], backend, np);
+        run_and_print(jacobi, kModes[0], backend, np, FaultSpec{});
+      }
+    }
+    // Crash-recovery trajectory (DESIGN.md §9): one barrier app under a
+    // kill-at-barrier and a kill-mid-interval plan, on both backends.
+    // Barrier apps recover bit-deterministically, so these rows are
+    // stable: the fingerprint pins the post-recovery result AND the full
+    // recovery telemetry from PR to PR.
+    const FaultSpec kFaultSlice[] = {
+        {"barrier:1@4", dsm::FaultPlan::AtBarrier(1, 4)},
+        {"release:1@8", dsm::FaultPlan::AfterRelease(1, 8)},
+    };
+    for (const BackendPoint& backend : kBackends) {
+      for (const FaultSpec& fault : kFaultSlice) {
+        run_and_print(jacobi, kModes[0], backend, 8, fault);
       }
     }
   }

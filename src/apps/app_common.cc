@@ -28,6 +28,7 @@ AppRun Execute(Application& app, RuntimeConfig cfg) {
 
 AppRun ExecuteSequential(Application& app, RuntimeConfig cfg) {
   cfg.num_procs = 1;
+  cfg.allow_sequential = true;  // intentional sequential-oracle run
   return Execute(app, cfg);
 }
 

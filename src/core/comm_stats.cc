@@ -19,6 +19,11 @@ void CommBreakdown::Merge(const CommBreakdown& other) {
   home_flush_bytes += other.home_flush_bytes;
   home_fetches += other.home_fetches;
   home_fetch_bytes += other.home_fetch_bytes;
+  recoveries += other.recoveries;
+  recovery_messages += other.recovery_messages;
+  recovery_data_bytes += other.recovery_data_bytes;
+  recovery_units += other.recovery_units;
+  recovery_records += other.recovery_records;
   signature.Merge(other.signature);
   read_faults += other.read_faults;
   write_faults += other.write_faults;
@@ -48,6 +53,12 @@ std::string CommBreakdown::ToString() const {
     out << "home: flushes=" << home_flushes << " (" << home_flush_bytes
         << " B) fetches=" << home_fetches << " (" << home_fetch_bytes
         << " B)\n";
+  }
+  if (recoveries > 0) {
+    out << "recovery: episodes=" << recoveries
+        << " messages=" << recovery_messages << " ("
+        << recovery_data_bytes << " B) units=" << recovery_units
+        << " records=" << recovery_records << "\n";
   }
   if (notice_clock_bytes_dense > 0) {
     out << "notice clocks: sparse=" << notice_clock_bytes

@@ -61,6 +61,19 @@ struct CommBreakdown {
   std::uint64_t home_fetches = 0;         // whole units fetched from homes
   std::uint64_t home_fetch_bytes = 0;     // full-unit payload delivered
 
+  // Crash-recovery traffic (DESIGN.md §9).  Like home-flush traffic, the
+  // rebuild data is outside the paper's reader-side useful/useless
+  // taxonomy (the victim re-reads everything; classifying the copies
+  // would poison the false-sharing signature) and outside
+  // delivered_data_bytes, whose invariant covers fault-path deliveries
+  // only.  All zero — and skipped by ToString and the bench fingerprint —
+  // unless a FaultPlan actually fired.
+  std::uint64_t recoveries = 0;             // crash-recovery episodes
+  std::uint64_t recovery_messages = 0;      // requests + replies, all sources
+  std::uint64_t recovery_data_bytes = 0;    // checkpoint/home/log payload
+  std::uint64_t recovery_units = 0;         // units rebuilt into the image
+  std::uint64_t recovery_records = 0;       // archive records replayed (LRC)
+
   // False sharing signature (Figure 3): bucket k = faults that contacted k
   // concurrent writers; per bucket, exchanges split useful/useless.
   SplitHistogram signature;
@@ -89,7 +102,7 @@ struct CommBreakdown {
 
   std::uint64_t total_messages() const {
     return useful_messages + useless_messages + sync_messages +
-           home_flush_messages;
+           home_flush_messages + recovery_messages;
   }
   std::uint64_t total_data_bytes() const {
     return useful_data_bytes + piggyback_useless_bytes +

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "mem/types.h"
 #include "net/network_model.h"
@@ -56,6 +57,66 @@ enum class GcPassMode {
   kAuto,
   kForceSerial,
   kForceStriped,
+};
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection (DESIGN.md §9).
+// ---------------------------------------------------------------------------
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  // Kill the victim at its `barrier`-th global barrier (0-based), inside the
+  // barrier idle window — after its interval closed and its notices are
+  // published, before the release.  Recovery rebuilds the victim to the
+  // merged global clock of that barrier.
+  kAtBarrier,
+  // Kill the victim mid-interval, immediately after its `release`-th
+  // interval close (1-based count over ALL CloseInterval calls — barrier
+  // and lock-release alike).  Recovery rebuilds the victim to the frozen
+  // vector clock of that archived interval.
+  kAfterRelease,
+};
+
+// A seeded, fully deterministic crash plan.  An armed plan (kind != kNone)
+// drives the FaultInjector (src/core/fault.h); a default-constructed plan is
+// inert and leaves every modelled number and fingerprint bit-identical to a
+// build without the subsystem.
+struct FaultPlan {
+  FaultKind kind = FaultKind::kNone;
+  // Victim processor id.  Negative → derived deterministically from `seed`
+  // at Runtime construction (never proc 0, which hosts the serial GC pass).
+  int victim = -1;
+  // kAtBarrier: 0-based global barrier index at which the victim dies.
+  int barrier = 0;
+  // kAfterRelease: 1-based count of interval closes after which it dies.
+  int release = 1;
+  // Seed for derived choices (victim when victim < 0).  Two runs with the
+  // same plan — seed included — inject at the identical modelled point.
+  std::uint64_t seed = 0;
+
+  bool armed() const { return kind != FaultKind::kNone; }
+
+  static FaultPlan AtBarrier(int victim, int barrier,
+                             std::uint64_t seed = 0) {
+    FaultPlan p;
+    p.kind = FaultKind::kAtBarrier;
+    p.victim = victim;
+    p.barrier = barrier;
+    p.seed = seed;
+    return p;
+  }
+  static FaultPlan AfterRelease(int victim, int release,
+                                std::uint64_t seed = 0) {
+    FaultPlan p;
+    p.kind = FaultKind::kAfterRelease;
+    p.victim = victim;
+    p.release = release;
+    p.seed = seed;
+    return p;
+  }
+  // Fully seeded plan: kind, victim and trigger point all derived from
+  // `seed` (used by the fuzz-style determinism tests).
+  static FaultPlan FromSeed(std::uint64_t seed);
 };
 
 struct RuntimeConfig {
@@ -136,8 +197,24 @@ struct RuntimeConfig {
   // Number of DSM lock ids available to the application.
   int num_locks = 4096;
 
+  // Deterministic crash plan (DESIGN.md §9).  Default-constructed = no
+  // fault; armed plans require a checkpoint source (LRC needs
+  // gc_interval_barriers > 0, see Validate()).
+  FaultPlan fault;
+
+  // A DSM with one processor is degenerate (no sharing, no protocol) and
+  // almost always a mis-filled config — Validate() rejects num_procs < 2
+  // unless this flag is set.  The sequential-oracle paths
+  // (apps::ExecuteSequential, single-proc unit tests) opt in explicitly.
+  bool allow_sequential = false;
+
   NetworkConfig net;
   CostModel cost;
+
+  // Rejects malformed configurations with std::invalid_argument (clear,
+  // field-naming messages).  Called by the Runtime constructor before any
+  // state is built; benches/tests may call it directly to probe a config.
+  void Validate() const;
 
   std::size_t unit_bytes() const {
     return aggregation == AggregationMode::kDynamic

@@ -1,0 +1,348 @@
+#include "core/fault.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "core/protocol.h"
+
+namespace dsm {
+namespace {
+
+// Deterministic mixer for seed-derived plan choices (SplitMix64).
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+[[noreturn]] void Invalid(const std::string& msg) {
+  throw std::invalid_argument("RuntimeConfig: " + msg);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RuntimeConfig validation (lives here with the rest of the robustness
+// machinery; config.h stays header-only otherwise).
+// ---------------------------------------------------------------------------
+
+void RuntimeConfig::Validate() const {
+  if (num_procs < 1) {
+    Invalid("num_procs must be >= 1 (got " + std::to_string(num_procs) + ")");
+  }
+  if (num_procs == 1 && !allow_sequential) {
+    Invalid(
+        "num_procs == 1 is a degenerate DSM (no sharing, protocol "
+        "disabled); set allow_sequential = true for an intentional "
+        "sequential-oracle run");
+  }
+  if (num_procs > 4096) {
+    Invalid("num_procs = " + std::to_string(num_procs) +
+            " is absurd (limit 4096)");
+  }
+  if (heap_bytes == 0) Invalid("heap_bytes must be > 0");
+  if (heap_bytes > (std::size_t{1} << 40)) {
+    Invalid("heap_bytes = " + std::to_string(heap_bytes) +
+            " is absurd (limit 1 TiB)");
+  }
+  if (pages_per_unit < 1 || pages_per_unit > 1024) {
+    Invalid("pages_per_unit must be in [1, 1024] (got " +
+            std::to_string(pages_per_unit) + ")");
+  }
+  if ((pages_per_unit & (pages_per_unit - 1)) != 0) {
+    Invalid("pages_per_unit must be a power of two (got " +
+            std::to_string(pages_per_unit) +
+            "); the unit-index fast path shifts and masks");
+  }
+  if (max_group_pages < 1) {
+    Invalid("max_group_pages must be >= 1 (got " +
+            std::to_string(max_group_pages) + ")");
+  }
+  if (gc_interval_barriers < 0) {
+    Invalid("gc_interval_barriers must be >= 0 (0 disables GC; got " +
+            std::to_string(gc_interval_barriers) + ")");
+  }
+  if (gc_lag_barriers < 1) {
+    Invalid("gc_lag_barriers must be >= 1 (the flatten target must lag at "
+            "least one completed barrier; got " +
+            std::to_string(gc_lag_barriers) + ")");
+  }
+  if (gc_lag_barriers > 1024) {
+    Invalid("gc_lag_barriers = " + std::to_string(gc_lag_barriers) +
+            " is absurd (limit 1024)");
+  }
+  if (hlrc_home_block_units < 1) {
+    Invalid("hlrc_home_block_units must be >= 1 (got " +
+            std::to_string(hlrc_home_block_units) + ")");
+  }
+  if (num_locks < 1) {
+    Invalid("num_locks must be >= 1 (got " + std::to_string(num_locks) + ")");
+  }
+  if (fault.armed()) {
+    if (backend == BackendKind::kReference) {
+      Invalid("fault injection requires a protocol backend; the reference "
+              "oracle has no archives or homes to recover from");
+    }
+    if (num_procs < 2) {
+      Invalid("fault injection requires num_procs >= 2 (someone must "
+              "survive the crash)");
+    }
+    if (fault.victim == 0) {
+      Invalid("fault.victim must not be processor 0 (the barrier manager "
+              "and serial-GC host)");
+    }
+    if (fault.victim >= num_procs) {
+      Invalid("fault.victim = " + std::to_string(fault.victim) +
+              " out of range for num_procs = " + std::to_string(num_procs));
+    }
+    if (fault.kind == FaultKind::kAtBarrier && fault.barrier < 0) {
+      Invalid("fault.barrier must be >= 0 (got " +
+              std::to_string(fault.barrier) + ")");
+    }
+    if (fault.kind == FaultKind::kAfterRelease && fault.release < 1) {
+      Invalid("fault.release must be >= 1 (got " +
+              std::to_string(fault.release) + ")");
+    }
+    if (backend == BackendKind::kLrc && gc_interval_barriers == 0) {
+      Invalid("no checkpoint available: LRC crash recovery rebuilds from "
+              "the archive GC's canonical bases, but gc_interval_barriers "
+              "== 0 disables the GC; enable it or use the HLRC backend");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Plan resolution
+// ---------------------------------------------------------------------------
+
+FaultPlan FaultPlan::FromSeed(std::uint64_t seed) {
+  FaultPlan p;
+  const std::uint64_t r = Mix64(seed);
+  p.kind = (r & 1) != 0 ? FaultKind::kAtBarrier : FaultKind::kAfterRelease;
+  p.victim = -1;  // derived from the seed once num_procs is known
+  p.barrier = 1 + static_cast<int>((r >> 16) % 4);
+  p.release = 1 + static_cast<int>((r >> 24) % 8);
+  p.seed = seed;
+  return p;
+}
+
+FaultPlan ResolveFaultPlan(FaultPlan plan, int num_procs) {
+  if (!plan.armed() || plan.victim >= 0) return plan;
+  DSM_CHECK_GE(num_procs, 2);
+  const std::uint64_t r = Mix64(plan.seed ^ 0xdeadbeefcafef00dull);
+  plan.victim =
+      1 + static_cast<int>(r % static_cast<std::uint64_t>(num_procs - 1));
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+FaultInjector::FaultInjector(const FaultPlan& resolved) : plan_(resolved) {
+  DSM_CHECK(plan_.armed());
+  DSM_CHECK_GE(plan_.victim, 0);
+}
+
+bool FaultInjector::ShouldCrashAtBarrier(ProcId proc,
+                                         std::uint32_t sync_phase) {
+  if (proc != plan_.victim || plan_.kind != FaultKind::kAtBarrier) {
+    return false;
+  }
+  if (fired_.load(std::memory_order_relaxed)) return false;
+  return sync_phase == static_cast<std::uint32_t>(plan_.barrier);
+}
+
+bool FaultInjector::ShouldCrashAfterClose(ProcId proc, Seq seq) {
+  if (proc != plan_.victim || plan_.kind != FaultKind::kAfterRelease) {
+    return false;
+  }
+  if (fired_.load(std::memory_order_relaxed)) return false;
+  return seq == static_cast<Seq>(plan_.release);
+}
+
+// ---------------------------------------------------------------------------
+// RecoveryCoordinator
+// ---------------------------------------------------------------------------
+
+void RecoveryCoordinator::Recover(Node& node, const VectorClock& to) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  SharedState& shared = node.shared_;
+  const CostModel& cost = shared.config.cost;
+  const int nprocs = shared.config.num_procs;
+  const std::size_t num_units = shared.heap.num_units();
+  const std::size_t unit_bytes = node.unit_bytes_;
+  CommBreakdown& c = node.comm_stats_.counters();
+  c.recoveries += 1;
+
+  // Dense copy of the consistent cut the victim rebuilds to.
+  VectorClock cut(nprocs);
+  cut.Merge(to);
+
+  // --- wipe: everything below models node-local volatile state -------------
+  // The crash points guarantee no twin exists and no interval is half
+  // closed (both fire right after an interval reached the archive, or
+  // inside a barrier with every interval closed).
+  std::memset(node.data_, 0, shared.heap.heap_bytes());
+  for (UnitId u = 0; u < num_units; ++u) {
+    node.table_.DropTwin(u);
+    node.table_.set_state(u, UnitState::kReadValid);
+    node.pending_[u].clear();
+    node.flattened_[u].clear();
+    node.elided_[u].clear();
+    node.retwin_cheap_[u] = 0;
+    node.diff_request_seen_[u] = 0;
+    // Register the victim as a sharer of EVERY unit: its rebuilt image is
+    // now newer than the shared virgin history, so a later first-fault
+    // adoption of those dominated chains would clobber replayed content.
+    // Safe — the virgin-store release check requires every proc
+    // registered, which only drops history no one can need.
+    shared.sharers->Register(u, node.id_);
+  }
+  node.table_.ClearDirtyList();
+  if (!node.twin_dirty_.empty()) {
+    std::fill(node.twin_dirty_.begin(), node.twin_dirty_.end(), 0);
+  }
+
+  // --- rebuild the image from the stable substrate --------------------------
+  VirtualNanos slowest = 0;  // parallel sources: clock takes the max
+  VirtualNanos install = 0;  // local per-unit / per-diff apply work
+  if (!node.hlrc_) {
+    // LRC (DESIGN.md §9): canonical bases hold every interval at or below
+    // the checkpoint watermark (checkpoint-complete GC mode); the archives
+    // — stable write-ahead logs, the victim's own included — hold the
+    // rest.  Replay above the watermark in happens-before order.
+    const VectorClock& cvc = shared.checkpoint_vc;
+    std::size_t base_units = 0;
+    for (UnitId u = 0; u < num_units; ++u) {
+      if (shared.canonical->ReadCheckpoint(u, node.UnitSpan(u))) {
+        ++base_units;
+      }
+    }
+    if (base_units > 0) {
+      // One bulk exchange with the checkpoint store: request header, one
+      // (unit id + payload) per base image.
+      const std::size_t resp = base_units * (16 + unit_bytes);
+      c.recovery_messages += 2;
+      c.recovery_data_bytes += base_units * unit_bytes;
+      slowest = std::max(
+          slowest, shared.net.RoundTripTime(16, resp) +
+                       cost.request_service_overhead +
+                       static_cast<VirtualNanos>(base_units) *
+                           cost.TwinCost(unit_bytes));
+      install += static_cast<VirtualNanos>(base_units) *
+                 cost.TwinCost(unit_bytes);
+    }
+
+    struct Replay {
+      UnitId unit;
+      const IntervalRecord* rec;
+      int di;
+      std::uint64_t vc_sum;
+    };
+    std::vector<Replay> replay;
+    for (ProcId p = 0; p < nprocs; ++p) {
+      const auto range = shared.archives[p]->Range(cvc[p], cut[p]);
+      if (range.empty()) continue;
+      // One exchange per contributing log: request header, per-record
+      // notice header plus the encoded diffs.
+      std::size_t resp = 0;
+      for (const IntervalRecord* rec : range) {
+        const std::uint64_t sum = rec->vc.Sum();
+        resp += 16;
+        for (std::size_t k = 0; k < rec->units.size(); ++k) {
+          const Diff& d = rec->diffs[k];
+          resp += d.EncodedBytes();
+          c.recovery_data_bytes += d.payload_bytes();
+          replay.push_back(
+              {rec->units[k], rec, static_cast<int>(k), sum});
+        }
+      }
+      c.recovery_messages += 2;
+      c.recovery_records += range.size();
+      slowest = std::max(slowest, shared.net.RoundTripTime(16, resp) +
+                                      cost.request_service_overhead);
+    }
+    // Happens-before order per unit (same linear extension as the GC
+    // apply pass: clock sums, (proc, seq) tie-break for concurrent
+    // records — race-free programs write disjoint words there).
+    std::sort(replay.begin(), replay.end(),
+              [](const Replay& a, const Replay& b) {
+                if (a.unit != b.unit) return a.unit < b.unit;
+                if (a.vc_sum != b.vc_sum) return a.vc_sum < b.vc_sum;
+                return a.rec->proc != b.rec->proc
+                           ? a.rec->proc < b.rec->proc
+                           : a.rec->seq < b.rec->seq;
+              });
+    for (const Replay& r : replay) {
+      const Diff& d = r.rec->diffs[static_cast<std::size_t>(r.di)];
+      d.Apply(node.UnitSpan(r.unit));
+      install += cost.DiffApplyCost(d.payload_bytes());
+    }
+  } else {
+    // HLRC (DESIGN.md §9): every unit's master copy lives at a surviving
+    // home (HomeOf skips the victim under an armed plan) — recovery is
+    // one whole-unit fetch sweep, one combined exchange per home.
+    std::vector<std::size_t> units_per_home(
+        static_cast<std::size_t>(nprocs), 0);
+    for (UnitId u = 0; u < num_units; ++u) {
+      ++units_per_home[static_cast<std::size_t>(shared.HomeOf(u))];
+    }
+    for (ProcId h = 0; h < nprocs; ++h) {
+      const std::size_t n = units_per_home[static_cast<std::size_t>(h)];
+      if (n == 0) continue;
+      const std::size_t req = 16 + 8 * n;
+      const std::size_t resp = n * (16 + unit_bytes);
+      c.recovery_messages += 2;
+      c.recovery_data_bytes += n * unit_bytes;
+      slowest = std::max(
+          slowest,
+          shared.net.RoundTripTime(req, resp) +
+              cost.request_service_overhead +
+              static_cast<VirtualNanos>(n) * cost.TwinCost(unit_bytes));
+    }
+    for (UnitId u = 0; u < num_units; ++u) {
+      const std::span<std::byte> dst = node.UnitSpan(u);
+      std::lock_guard lock(shared.home_mutexes[u]);
+      std::memcpy(dst.data(),
+                  shared.home_image.get() + shared.heap.UnitBase(u),
+                  unit_bytes);
+      install += cost.TwinCost(unit_bytes);
+    }
+  }
+  c.recovery_units += num_units;
+
+  // --- rebuild the clocks and the notice view -------------------------------
+  // Everything the cut covers is now IN the image, so it counts as
+  // consumed: records above the cut redeliver through the normal
+  // CollectNotices path at the victim's next synchronization (they
+  // survive — nothing above the cut can be flattened while the victim,
+  // a barrier participant, is mid-recovery).
+  node.vc_ = cut;
+  node.notices_seen_ = cut;
+
+  const VirtualNanos modelled = slowest + install;
+  node.clock_.Advance(modelled);
+
+  // Lock-side sweep: drop the victim from every grant queue, force-release
+  // anything it held (publishing the recovered clock/time, exactly what
+  // its own release at the crash point would have), invalidate its cached
+  // tokens.  Its in-flight transparent release becomes an orphan no-op.
+  shared.locks->OnCrash(node.id_, node.vc_, node.clock_.now());
+
+  const auto wall_end = std::chrono::steady_clock::now();
+  shared.fault->OnRecovered(
+      modelled,
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(wall_end -
+                                                               wall_start)
+              .count()));
+}
+
+}  // namespace dsm

@@ -1,0 +1,108 @@
+// Deterministic fault injection and crash recovery (DESIGN.md §9).
+//
+// A seeded FaultPlan (core/config.h) names one victim processor and one
+// modelled crash point: its n-th global barrier, or immediately after its
+// m-th interval close.  The FaultInjector fires the plan exactly once, at
+// that deterministic point, on the victim's own thread; the
+// RecoveryCoordinator then rebuilds the victim's lost volatile state —
+// private image, page-table protections and twins, vector clock, pending
+// write-notice view — from the run's stable substrate:
+//
+//   * LRC:  canonical base images (the archive GC's barrier-epoch
+//           checkpoints, CanonicalStore::ReadCheckpoint) plus the archived
+//           interval records not yet flattened into them.  Archives model
+//           write-ahead logs on stable storage: a record is durable the
+//           moment the interval closes, so the victim's own log survives
+//           the crash.  With an armed plan the GC runs in
+//           *checkpoint-complete* mode (every dominated record reaches the
+//           base, bases are never released), making base + surviving log
+//           a complete history — the honest single-source-of-truth shape
+//           the failure-free protocol does not need.
+//   * HLRC: whole-unit copies from the home images.  With an armed plan
+//           homes are assigned round-robin over the survivors from the
+//           start (HomeOf skips the victim), modelling pre-crash home
+//           migration away from the failing node, so the home image
+//           survives in full.
+//
+// Recovery is *transparent*: the victim's thread continues from the crash
+// point with rebuilt state, so the sync services never lose a live
+// participant mid-run (LockService::OnCrash handles the lock-side sweep —
+// force-releasing anything the victim held and invalidating its cached
+// tokens).  Recovery traffic is modelled — messages and bytes in the
+// CommBreakdown recovery counters, latency on the victim's virtual clock —
+// but deliberately outside the paper's reader-side useful/useless taxonomy
+// and the per-kind NetStats, which keeps every no-fault fingerprint
+// bit-identical by construction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/config.h"
+#include "core/vector_clock.h"
+#include "sim/virtual_clock.h"
+
+namespace dsm {
+
+class Node;
+struct SharedState;
+
+// Resolves a seeded plan: a negative victim is derived from plan.seed,
+// uniform over 1..num_procs-1 (never proc 0, the barrier manager and
+// serial-GC host).  Identity for plans with an explicit victim.
+FaultPlan ResolveFaultPlan(FaultPlan plan, int num_procs);
+
+// Owns one run's resolved FaultPlan and fires it exactly once.  All
+// trigger predicates are pure functions of (plan, caller, protocol point);
+// the fired flag is only ever read or written by the victim's thread
+// (every predicate checks the caller id first).
+class FaultInjector {
+ public:
+  // `resolved` must have victim >= 0 (SharedState resolves seeded plans).
+  explicit FaultInjector(const FaultPlan& resolved);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // Called by every node inside the barrier of phase `sync_phase` (after
+  // the idle-window GC, before notices are collected): true exactly once,
+  // for the victim of a kAtBarrier plan at its planned barrier.
+  bool ShouldCrashAtBarrier(ProcId proc, std::uint32_t sync_phase);
+
+  // Called by the closing node right after its interval record with
+  // sequence number `seq` was appended to its archive: true exactly once,
+  // for the victim of a kAfterRelease plan at its planned close.
+  bool ShouldCrashAfterClose(ProcId proc, Seq seq);
+
+  bool fired() const { return fired_.load(std::memory_order_relaxed); }
+
+  // Recovery telemetry, recorded by the RecoveryCoordinator.
+  void OnRecovered(VirtualNanos modelled_ns, std::uint64_t wall_ns) {
+    recovery_modelled_ns_ = modelled_ns;
+    recovery_wall_ns_ = wall_ns;
+    fired_.store(true, std::memory_order_relaxed);
+  }
+  VirtualNanos recovery_modelled_ns() const { return recovery_modelled_ns_; }
+  std::uint64_t recovery_wall_ns() const { return recovery_wall_ns_; }
+
+ private:
+  const FaultPlan plan_;
+  // Victim-thread-only during the run; atomic so CollectStats may read it
+  // after the worker threads joined without formal UB.
+  std::atomic<bool> fired_{false};
+  VirtualNanos recovery_modelled_ns_ = 0;
+  std::uint64_t recovery_wall_ns_ = 0;
+};
+
+// Rebuilds a crashed node.  Stateless — a friend of Node that performs the
+// wipe-and-rebuild described above; all bookkeeping lands in the victim's
+// CommBreakdown/clock and the injector's telemetry.
+class RecoveryCoordinator {
+ public:
+  // Rebuild `victim` to the consistent cut `to` (dense or frozen): the
+  // merged global clock of the crash barrier for kAtBarrier plans, the
+  // frozen close-time clock of the victim's last durable interval for
+  // kAfterRelease plans.  Must run on the victim's own thread.
+  static void Recover(Node& victim, const VectorClock& to);
+};
+
+}  // namespace dsm

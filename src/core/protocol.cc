@@ -6,7 +6,20 @@
 #include <thread>
 #include <unordered_map>
 
+#include "core/fault.h"
+
 namespace dsm {
+namespace {
+
+// Validation must precede every other member's construction (GlobalHeap
+// would CHECK-abort on an absurd heap size instead of throwing), so it
+// rides the first mem-initializer.
+const RuntimeConfig& Validated(const RuntimeConfig& cfg) {
+  cfg.Validate();
+  return cfg;
+}
+
+}  // namespace
 
 std::size_t GcSerialPassLimit(unsigned hardware_threads) {
   if (hardware_threads == 0) return 1024;  // unknown: historical default
@@ -49,12 +62,23 @@ const char* RuntimeConfig::BackendLabel() const {
 }
 
 SharedState::SharedState(const RuntimeConfig& cfg)
-    : config(cfg),
+    : config(Validated(cfg)),
       heap(cfg.heap_bytes, cfg.unit_bytes()),
       net(cfg.net),
       barrier(std::make_unique<BarrierService>(cfg.num_procs)),
       locks(std::make_unique<LockService>(cfg.num_locks, cfg.num_procs)) {
-  DSM_CHECK_GE(cfg.num_procs, 1);
+  if (config.fault.armed()) {
+    // Resolve the plan (seed-derived victim) once, store it back so
+    // introspection sees the concrete victim, and arm the injector.
+    config.fault = ResolveFaultPlan(config.fault, config.num_procs);
+    fault = std::make_unique<FaultInjector>(config.fault);
+    checkpoint_vc = VectorClock(config.num_procs);
+    if (config.backend == BackendKind::kHlrc) {
+      // Re-home away from the victim from the start (DESIGN.md §9): the
+      // home image then survives the crash in full.
+      hlrc_home_skip = config.fault.victim;
+    }
+  }
   if (cfg.backend == BackendKind::kReference) {
     reference_image.reset(new std::byte[heap.heap_bytes()]());
   }
@@ -94,6 +118,8 @@ SharedState::SharedState(const RuntimeConfig& cfg)
   gc_dom_ready = std::vector<std::atomic<std::uint8_t>>(cfg.num_procs);
   for (auto& r : gc_dom_ready) r.store(0, std::memory_order_relaxed);
 }
+
+SharedState::~SharedState() = default;
 
 Node::Node(ProcId id, SharedState& shared)
     : id_(id),
@@ -658,7 +684,14 @@ void Node::CloseInterval(bool lock_release) {
   (void)cost;
   rec.vc = vc_;
   table_.ClearDirtyList();
-  shared_.archives[id_]->Append(std::move(rec));
+  const IntervalRecord* stored = shared_.archives[id_]->Append(std::move(rec));
+  if (shared_.fault != nullptr &&
+      shared_.fault->ShouldCrashAfterClose(id_, stored->seq)) {
+    // Crash point: the interval just reached the (stable) archive, all
+    // twins are dropped, nothing is half-written.  Rebuild in place and
+    // continue transparently (DESIGN.md §9).
+    RecoveryCoordinator::Recover(*this, stored->vc);
+  }
 }
 
 // Home-based LRC release (DESIGN.md §7): the dual of the lazy path above.
@@ -755,7 +788,13 @@ void Node::HlrcFlushInterval(bool lock_release) {
   }
   clock_.Advance(slowest);
 
-  shared_.archives[id_]->Append(std::move(rec));
+  const IntervalRecord* stored = shared_.archives[id_]->Append(std::move(rec));
+  if (shared_.fault != nullptr &&
+      shared_.fault->ShouldCrashAfterClose(id_, stored->seq)) {
+    // Same crash point as the LRC path: record archived, homes already
+    // absorbed this interval's diffs, twins dropped.
+    RecoveryCoordinator::Recover(*this, stored->vc);
+  }
 }
 
 // Home-based LRC fault resolution (DESIGN.md §7): whole-unit copies from
@@ -1395,6 +1434,37 @@ void Node::GcFlattenStripe(const VectorClock& through, int start,
   tel.chains_built.fetch_add(chains_built, std::memory_order_relaxed);
   tel.chains_shared.fetch_add(chains_shared, std::memory_order_relaxed);
   tel.records_elided.fetch_add(records_elided, std::memory_order_relaxed);
+
+  // Checkpoint-complete mode (DESIGN.md §9).  The pending-driven routing
+  // above sends a record's words to the base only when some node still had
+  // the record pending — sufficient for the protocol (every node that
+  // consumed it already applied its words), but a recovery checkpoint must
+  // hold EVERY dominated interval: the victim's rebuilt image is base +
+  // surviving log, with nothing else to fall back on.  Under an armed
+  // fault plan, replace this stripe's base-routing refs wholesale with the
+  // full dominated record set.  Host-side only (the chain builds above are
+  // untouched), and armed-plan-gated, so fault-free runs stay
+  // bit-identical.  Each (unit, record) pair appears exactly once; the
+  // apply pass orders each unit group in happens-before order itself.
+  if (shared.fault != nullptr) {
+    gc_refs_.clear();
+    for (ProcId p = 0; p < nprocs; ++p) {
+      for (const std::shared_ptr<const IntervalRecord>& owner :
+           dom_prefix_of(p)) {
+        const IntervalRecord* rec = owner.get();
+        const std::uint64_t sum = rec->vc.Sum();
+        for (std::size_t k = 0; k < rec->units.size(); ++k) {
+          const UnitId u = rec->units[k];
+          if (u % static_cast<UnitId>(step) != static_cast<UnitId>(start)) {
+            continue;
+          }
+          gc_refs_.push_back({u, rec, static_cast<int>(k), sum});
+        }
+      }
+    }
+    std::sort(gc_refs_.begin(), gc_refs_.end(),
+              [](const GcRef& a, const GcRef& b) { return a.unit < b.unit; });
+  }
 }
 
 // Apply phase (pass 2): flatten this stripe's referenced diffs into the
@@ -1443,6 +1513,11 @@ void Node::GcApplyStripe(int start, int step) {
     }
   }
   gc_refs_.clear();
+
+  // Armed fault plan: the bases ARE the recovery checkpoints.  Never
+  // release one — a released base re-Ensures ZEROED, silently dropping
+  // checkpoint content the victim's rebuild depends on (DESIGN.md §9).
+  if (shared.fault != nullptr) return;
 
   for (UnitId u = static_cast<UnitId>(start); u < num_units;
        u += static_cast<UnitId>(step)) {
@@ -1607,13 +1682,23 @@ void Node::Barrier() {
       if (id_ == 0) {
         GcFlattenStripe(gc_through, 0, 1);
         GcApplyStripe(0, 1);
+        // Checkpoint watermark (DESIGN.md §9): everything <= gc_through is
+        // now in the bases.  Published before the closing rendezvous, which
+        // happens-before any recovery read of it.
+        if (shared_.fault != nullptr) shared_.checkpoint_vc = gc_through;
         ++shared_.gc_passes;
       }
     } else if (gc_ran) {
       GcFlattenStripe(gc_through, id_, num_procs());
       shared_.barrier->Rendezvous();
       GcApplyStripe(id_, num_procs());
-      if (id_ == 0) ++shared_.gc_passes;
+      if (id_ == 0) {
+        // Striped watermark: proc 0's apply may finish before its peers',
+        // but the only reader — a recovering victim — reads after the
+        // closing rendezvous, which orders it after every stripe's apply.
+        if (shared_.fault != nullptr) shared_.checkpoint_vc = gc_through;
+        ++shared_.gc_passes;
+      }
     }
   }
   // HLRC rides the same idle window for its notice-log watermark prune:
@@ -1632,6 +1717,15 @@ void Node::Barrier() {
     }
   }
   if (gc_ran) GcPruneOwn(gc_through);
+  if (shared_.fault != nullptr &&
+      shared_.fault->ShouldCrashAtBarrier(id_, sync_phase_)) {
+    // Crash point "at barrier n": the victim dies as barrier n completes
+    // (its interval is archived, any GC pass of this window has fully
+    // applied and pruned) and rebuilds to the barrier's global clock.  The
+    // CollectNotices below then finds nothing new — recovery already
+    // installed everything the global cut covers.
+    RecoveryCoordinator::Recover(*this, res.global_vc);
+  }
   ++sync_phase_;
   // A completed barrier starts a fresh phase: lock-chain sub-phases are
   // meaningful only between two barriers (stamp keys embed sync_phase_,

@@ -47,6 +47,8 @@
 namespace dsm {
 
 class Node;
+class FaultInjector;       // core/fault.h
+class RecoveryCoordinator;  // core/fault.h
 
 // Everything shared between nodes; owned by Runtime.
 struct SharedState {
@@ -104,11 +106,35 @@ struct SharedState {
   };
   std::vector<VirginHistory> virgin_history;
 
+  // Deterministic fault injection (DESIGN.md §9): null unless
+  // config.fault is armed; the resolved plan (victim derived from the
+  // seed when negative) lives in the injector AND is written back into
+  // `config.fault` at construction.
+  std::unique_ptr<FaultInjector> fault;
+  // Checkpoint watermark: the flatten target (`gc_through`) of the last
+  // completed GC apply — every interval at or below it is fully
+  // represented in the canonical bases.  Written by proc 0 inside the GC
+  // window (before the closing rendezvous, which happens-before every
+  // later read); recovery replays only archive records ABOVE it.
+  // Maintained only under an armed fault plan (dense, all-zero
+  // otherwise), so no-fault runs take no new work.
+  VectorClock checkpoint_vc;
+  // HLRC re-homing under an armed plan: homes round-robin over the
+  // survivors from the start (HomeOf never names the victim), modelling
+  // pre-crash home migration away from the failing node — the home image
+  // then survives the crash in full.  -1 = no skip (no armed HLRC plan).
+  ProcId hlrc_home_skip = -1;
+
   // Home node of `unit` under kHlrc: round-robin over processors in
   // blocks of config.hlrc_home_block_units units.
   ProcId HomeOf(UnitId unit) const {
     const auto block =
         static_cast<UnitId>(std::max(1, config.hlrc_home_block_units));
+    if (hlrc_home_skip >= 0) {
+      ProcId h = static_cast<ProcId>(
+          (unit / block) % static_cast<UnitId>(config.num_procs - 1));
+      return h >= hlrc_home_skip ? h + 1 : h;
+    }
     return static_cast<ProcId>((unit / block) %
                                static_cast<UnitId>(config.num_procs));
   }
@@ -125,6 +151,8 @@ struct SharedState {
   std::vector<std::atomic<std::uint8_t>> gc_dom_ready;
 
   explicit SharedState(const RuntimeConfig& cfg);
+  // Out-of-line: FaultInjector is incomplete here (unique_ptr member).
+  ~SharedState();
 };
 
 class Node {
@@ -186,6 +214,11 @@ class Node {
   }
 
  private:
+  // Crash recovery rebuilds this node's volatile state in place
+  // (core/fault.h); it needs the same access the node's own protocol
+  // methods have.
+  friend class RecoveryCoordinator;
+
   // The LRC protocol machinery runs only when there is someone to talk to
   // and the run is not using the sequentially consistent reference oracle.
   // Fixed at construction; cached so the access fast path pays one bool

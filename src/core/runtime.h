@@ -130,6 +130,11 @@ struct RunStats {
   CommBreakdown comm;
   NetStats net;
   MemoryFootprint mem;
+  // Crash recovery (DESIGN.md §9): modelled latency the rebuild charged to
+  // the victim's clock, and host wall-clock the rebuild took.  Zero — and
+  // absent from ToString — unless a fault plan fired.
+  VirtualNanos recovery_modelled_ns = 0;
+  std::uint64_t recovery_wall_ns = 0;
 
   double exec_seconds() const {
     return static_cast<double>(exec_time) /

@@ -80,7 +80,8 @@ std::uint64_t BarrierService::barriers_completed() const {
 }
 
 LockService::LockService(int num_locks, int num_procs)
-    : num_procs_(num_procs) {
+    : num_procs_(num_procs),
+      crash_swept_(static_cast<std::size_t>(num_procs), 0) {
   DSM_CHECK_GT(num_locks, 0);
   locks_.resize(num_locks);
   for (auto& l : locks_) l.release_vc = VectorClock(num_procs);
@@ -91,7 +92,20 @@ LockService::Grant LockService::Acquire(int lock_id, ProcId proc) {
   LockState& st = locks_[lock_id];
   if (st.held || !st.queue.empty()) {
     st.queue.push_back(proc);
-    st.cv.wait(lock, [&] { return !st.held && st.queue.front() == proc; });
+    for (;;) {
+      if (std::find(st.queue.begin(), st.queue.end(), proc) ==
+          st.queue.end()) {
+        // A crash sweep (OnCrash) erased this parked waiter — the service
+        // presumed the processor dead, but it is alive (recovered, or the
+        // sweep was mistaken about a live waiter).  Deterministic requeue:
+        // rejoin at the BACK, so every surviving waiter that was ahead is
+        // served first and the handoff order is independent of wakeup
+        // timing.
+        st.queue.push_back(proc);
+      }
+      if (!st.held && st.queue.front() == proc) break;
+      st.cv.wait(lock);
+    }
     st.queue.pop_front();
   }
   st.held = true;
@@ -109,6 +123,14 @@ void LockService::Release(int lock_id, ProcId proc, const VectorClock& vc,
                           VirtualNanos time) {
   std::lock_guard lock(mutex_);
   LockState& st = locks_[lock_id];
+  if (crash_swept_[static_cast<std::size_t>(proc)] != 0 &&
+      (!st.held || st.owner != proc)) {
+    // Orphan release by a crashed-then-recovered processor: OnCrash
+    // already force-released this lock on its behalf (and a waiter may
+    // have taken it since).  The transparent recovery model means the
+    // app thread still executes its release — tolerate it.
+    return;
+  }
   DSM_CHECK(st.held) << "release of lock " << lock_id << " not held";
   DSM_CHECK_EQ(st.owner, proc);
   st.held = false;
@@ -117,6 +139,43 @@ void LockService::Release(int lock_id, ProcId proc, const VectorClock& vc,
   // Only this lock's waiters are interested; the per-lock CV keeps a
   // release from waking every waiter of every other lock.
   st.cv.notify_all();
+}
+
+void LockService::OnCrash(ProcId proc, const VectorClock& vc,
+                          VirtualNanos time) {
+  std::lock_guard lock(mutex_);
+  crash_swept_[static_cast<std::size_t>(proc)] = 1;
+  for (LockState& st : locks_) {
+    bool touched = false;
+    // A crashed waiter never arrives to take its grant; erase it so the
+    // queue's front is always a live waiter.  (Deterministic: queue order
+    // of the survivors is preserved.)
+    for (auto it = st.queue.begin(); it != st.queue.end();) {
+      if (*it == proc) {
+        it = st.queue.erase(it);
+        touched = true;
+      } else {
+        ++it;
+      }
+    }
+    if (st.held && st.owner == proc) {
+      // Force-release on the victim's behalf, publishing exactly the
+      // clock/time its own release would have (the caller passes the
+      // recovered post-crash values, which are what a normal release at
+      // the crash point publishes).
+      st.held = false;
+      st.release_vc = vc;
+      st.release_time = time;
+      touched = true;
+    }
+    if (st.owner == proc && !st.held) {
+      // Cached token died with the node: the next acquire — by anyone,
+      // the victim included — must be a real transfer.
+      st.owner = -1;
+      touched = true;
+    }
+    if (touched) st.cv.notify_all();
+  }
 }
 
 std::uint64_t LockService::transfers(int lock_id) const {

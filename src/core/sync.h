@@ -106,6 +106,21 @@ class LockService {
   void Release(int lock_id, ProcId proc, const VectorClock& vc,
                VirtualNanos time);
 
+  // Crash sweep (DESIGN.md §9): remove every trace of `proc` as a live
+  // participant, deterministically.  For each lock: drop proc from the
+  // grant queue (a crashed waiter never arrives; remaining waiters keep
+  // their FIFO order and the front is re-notified), force-release the
+  // lock if proc held it (publishing `vc`/`time` exactly as proc's own
+  // release would have), and invalidate proc's cached token (owner
+  // becomes -1, so proc's next acquire is a real transfer — the token
+  // died with the node).  After the sweep, a Release() by proc that finds
+  // the lock not held by proc is tolerated as an orphan no-op: recovery
+  // is transparent (the app thread continues from the crash point), so a
+  // crash inside a critical section flows into a release of a lock this
+  // sweep already force-released.  Non-swept processors keep today's
+  // strict double-release check.
+  void OnCrash(ProcId proc, const VectorClock& vc, VirtualNanos time);
+
   std::uint64_t transfers(int lock_id) const;
 
  private:
@@ -128,6 +143,8 @@ class LockService {
   // deque: LockState holds a condition_variable (immovable); deque
   // constructs elements in place and never relocates them.
   std::deque<LockState> locks_;
+  // Processors OnCrash has swept: their orphan releases are tolerated.
+  std::vector<std::uint8_t> crash_swept_;
 };
 
 }  // namespace dsm

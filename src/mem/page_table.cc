@@ -58,6 +58,14 @@ void CanonicalStore::CopyRuns(UnitId unit, std::span<std::byte> dst,
   }
 }
 
+bool CanonicalStore::ReadCheckpoint(UnitId unit,
+                                    std::span<std::byte> dst) const {
+  DSM_CHECK_EQ(dst.size(), unit_bytes_);
+  if (bases_[unit] == nullptr) return false;
+  std::memcpy(dst.data(), bases_[unit].get(), unit_bytes_);
+  return true;
+}
+
 void CanonicalStore::Release(UnitId unit) {
   if (bases_[unit] == nullptr) return;
   std::lock_guard lock(pool_mutex_);

@@ -76,6 +76,15 @@ class CanonicalStore {
   void CopyRuns(UnitId unit, std::span<std::byte> dst,
                 const std::vector<DiffRun>& runs) const;
 
+  // Checkpoint-read API (crash recovery, DESIGN.md §9): copy the unit's
+  // base image — the barrier-epoch checkpoint of every flattened interval
+  // — into `dst` (a unit-sized buffer) and return true, or return false
+  // untouched when the unit has no base (no dominated interval ever wrote
+  // it; its checkpoint content is the zero-initialized heap).  The one
+  // sanctioned way to read checkpoint data from outside the GC: recovery
+  // must not see (or depend on) the store's pooling internals.
+  bool ReadCheckpoint(UnitId unit, std::span<std::byte> dst) const;
+
   // Return the unit's buffer to the free pool (no-op without a base).
   void Release(UnitId unit);
 

@@ -575,5 +575,31 @@ TEST(HlrcCleanTwin, SkipKnobIsBitInvisible) {
   ExpectModelledStateEqual(stats_on, stats_off, "clean-twin skip");
 }
 
+// --- recovery telemetry back-compat ------------------------------------------
+//
+// The crash-recovery counters (DESIGN.md §9) follow the zero-entry skip
+// rule: on a run with no fault plan they stay zero and appear NOWHERE in
+// the textual stats, so existing goldens, fingerprints, and parsers are
+// untouched by the subsystem's existence.
+TEST(GcTelemetry, NoFaultRunEmitsNoRecoveryCounters) {
+  for (BackendKind backend : {BackendKind::kLrc, BackendKind::kHlrc}) {
+    RuntimeConfig cfg;
+    cfg.num_procs = 4;
+    cfg.backend = backend;
+    auto app = MakeApp("Jacobi", "tiny");
+    const AppRun run = Execute(*app, cfg);
+    const CommBreakdown& c = run.stats.comm;
+    EXPECT_EQ(c.recoveries, 0u);
+    EXPECT_EQ(c.recovery_messages, 0u);
+    EXPECT_EQ(c.recovery_data_bytes, 0u);
+    EXPECT_EQ(c.recovery_units, 0u);
+    EXPECT_EQ(c.recovery_records, 0u);
+    EXPECT_EQ(run.stats.recovery_modelled_ns, 0);
+    EXPECT_EQ(run.stats.recovery_wall_ns, 0u);
+    EXPECT_EQ(run.stats.ToString().find("recovery"), std::string::npos);
+    EXPECT_EQ(c.ToString().find("recovery"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace dsm::apps

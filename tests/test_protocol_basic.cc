@@ -182,7 +182,9 @@ TEST(ProtocolBasic, ConcurrentWriterKeepsOwnWordsAfterFetch) {
 
 // Sequential mode (1 processor): no protocol activity at all.
 TEST(ProtocolBasic, SequentialModeHasNoProtocolTraffic) {
-  Runtime rt(SmallConfig(1));
+  RuntimeConfig cfg = SmallConfig(1);
+  cfg.allow_sequential = true;
+  Runtime rt(cfg);
   auto a = rt.Alloc<int>(4096, "a");
   rt.Run([&](Proc& p) {
     for (int i = 0; i < 4096; ++i) p.Write(a, i, i);

@@ -3,6 +3,9 @@
 // config helpers.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "core/runtime.h"
 
 namespace dsm {
@@ -211,6 +214,107 @@ TEST(ProtocolEdge, DeterministicReplay) {
   EXPECT_EQ(a.comm.useless_messages, b.comm.useless_messages);
   EXPECT_EQ(a.comm.useful_data_bytes, b.comm.useful_data_bytes);
   EXPECT_EQ(a.net.total_bytes(), b.net.total_bytes());
+}
+
+// --- RuntimeConfig validation (fail-fast misuse diagnostics) -----------------
+//
+// The Runtime constructor validates its config before building any state;
+// a malformed field surfaces as std::invalid_argument naming the field,
+// never as a deep CHECK abort or a hang.
+
+// Expects Runtime construction to throw and the message to mention `hint`.
+void ExpectRejected(const RuntimeConfig& cfg, const std::string& hint) {
+  try {
+    Runtime rt(cfg);
+    FAIL() << "config accepted; expected rejection mentioning '" << hint
+           << "'";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(hint), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+TEST(ConfigValidation, RejectsBadProcessorCounts) {
+  RuntimeConfig cfg = Config(0);
+  ExpectRejected(cfg, "num_procs");
+  cfg = Config(5000);
+  ExpectRejected(cfg, "num_procs");
+  // One processor is degenerate and almost always a mis-filled config;
+  // the sequential oracle opts in via allow_sequential.
+  cfg = Config(1);
+  ExpectRejected(cfg, "allow_sequential");
+  cfg.allow_sequential = true;
+  EXPECT_NO_THROW(Runtime rt(cfg));
+}
+
+TEST(ConfigValidation, RejectsBadHeapAndUnitShapes) {
+  RuntimeConfig cfg = Config(2);
+  cfg.heap_bytes = 0;
+  ExpectRejected(cfg, "heap_bytes");
+
+  cfg = Config(2);
+  cfg.pages_per_unit = 3;  // not a power of two
+  ExpectRejected(cfg, "pages_per_unit");
+  cfg.pages_per_unit = 0;
+  ExpectRejected(cfg, "pages_per_unit");
+
+  cfg = Config(2);
+  cfg.max_group_pages = 0;
+  ExpectRejected(cfg, "max_group_pages");
+}
+
+TEST(ConfigValidation, RejectsBadServiceKnobs) {
+  RuntimeConfig cfg = Config(2);
+  cfg.gc_lag_barriers = 0;
+  ExpectRejected(cfg, "gc_lag_barriers");
+
+  cfg = Config(2);
+  cfg.gc_interval_barriers = -1;
+  ExpectRejected(cfg, "gc_interval_barriers");
+
+  cfg = Config(2);
+  cfg.hlrc_home_block_units = 0;
+  ExpectRejected(cfg, "hlrc_home_block_units");
+
+  cfg = Config(2);
+  cfg.num_locks = 0;
+  ExpectRejected(cfg, "num_locks");
+}
+
+TEST(ConfigValidation, RejectsMalformedFaultPlans) {
+  // Victim 0 hosts the barrier manager and the serial GC pass.
+  RuntimeConfig cfg = Config(4);
+  cfg.fault = FaultPlan::AtBarrier(0, 1);
+  ExpectRejected(cfg, "processor 0");
+
+  cfg = Config(4);
+  cfg.fault = FaultPlan::AtBarrier(4, 1);  // out of range
+  ExpectRejected(cfg, "victim");
+
+  cfg = Config(4);
+  cfg.fault = FaultPlan::AtBarrier(1, -1);
+  ExpectRejected(cfg, "barrier");
+
+  cfg = Config(4);
+  cfg.fault = FaultPlan::AfterRelease(1, 0);
+  ExpectRejected(cfg, "release");
+
+  // The reference oracle has no protocol state to crash and rebuild.
+  cfg = Config(4);
+  cfg.backend = BackendKind::kReference;
+  cfg.fault = FaultPlan::AtBarrier(1, 1);
+  ExpectRejected(cfg, "reference");
+
+  // LRC recovery needs the archive GC's canonical-base checkpoints.
+  cfg = Config(4);
+  cfg.gc_interval_barriers = 0;
+  cfg.fault = FaultPlan::AtBarrier(1, 1);
+  ExpectRejected(cfg, "no checkpoint available");
+
+  // A well-formed plan on a protocol backend is accepted.
+  cfg = Config(4);
+  cfg.fault = FaultPlan::AfterRelease(1, 2);
+  EXPECT_NO_THROW(Runtime rt(cfg));
 }
 
 }  // namespace

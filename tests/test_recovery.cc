@@ -1,0 +1,382 @@
+// Deterministic fault injection + crash recovery (DESIGN.md §9).
+//
+// A seeded FaultPlan kills one victim processor at a modelled point —
+// at its n-th barrier or right after its m-th interval close — and the
+// RecoveryCoordinator rebuilds its volatile state from the stable
+// substrate (LRC: canonical-base checkpoints + surviving archives; HLRC:
+// home images re-homed away from the victim).  The gates:
+//
+//   * post-recovery results bit-identical to the failure-free run for
+//     every conformance cell (tolerance only for lock-scheduled apps),
+//   * the same plan (seed included) twice → bit-identical everything,
+//     recovery telemetry included,
+//   * LRC with the archive GC disabled fails fast with a clear
+//     "no checkpoint available" error instead of hanging,
+//   * recovery telemetry appears in ToString only when a fault fired.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/registry.h"
+#include "core/fault.h"
+
+namespace dsm::apps {
+namespace {
+
+struct AggPoint {
+  const char* label;
+  AggregationMode mode;
+  int ppu;
+};
+
+const AggPoint kAggs[] = {
+    {"4K", AggregationMode::kStatic, 1},
+    {"16K", AggregationMode::kStatic, 4},
+    {"Dyn", AggregationMode::kDynamic, 1},
+};
+
+// Every modelled quantity, bit for bit (MemoryFootprint excluded: host
+// telemetry).  Recovery wall time is host time and excluded too.
+void ExpectModelledStateEqual(const RunStats& a, const RunStats& b,
+                              const std::string& where) {
+  EXPECT_EQ(a.exec_time, b.exec_time) << where;
+  EXPECT_EQ(a.node_times, b.node_times) << where;
+  EXPECT_EQ(a.recovery_modelled_ns, b.recovery_modelled_ns) << where;
+
+  const CommBreakdown& ca = a.comm;
+  const CommBreakdown& cb = b.comm;
+  EXPECT_EQ(ca.useful_messages, cb.useful_messages) << where;
+  EXPECT_EQ(ca.useless_messages, cb.useless_messages) << where;
+  EXPECT_EQ(ca.sync_messages, cb.sync_messages) << where;
+  EXPECT_EQ(ca.useful_data_bytes, cb.useful_data_bytes) << where;
+  EXPECT_EQ(ca.delivered_data_bytes, cb.delivered_data_bytes) << where;
+  EXPECT_EQ(ca.read_faults, cb.read_faults) << where;
+  EXPECT_EQ(ca.write_faults, cb.write_faults) << where;
+  EXPECT_EQ(ca.twins_created, cb.twins_created) << where;
+  EXPECT_EQ(ca.diffs_created, cb.diffs_created) << where;
+  EXPECT_EQ(ca.diffs_applied, cb.diffs_applied) << where;
+  EXPECT_EQ(ca.units_invalidated, cb.units_invalidated) << where;
+  EXPECT_EQ(ca.recoveries, cb.recoveries) << where;
+  EXPECT_EQ(ca.recovery_messages, cb.recovery_messages) << where;
+  EXPECT_EQ(ca.recovery_data_bytes, cb.recovery_data_bytes) << where;
+  EXPECT_EQ(ca.recovery_units, cb.recovery_units) << where;
+  EXPECT_EQ(ca.recovery_records, cb.recovery_records) << where;
+  EXPECT_EQ(ca.signature.ToString(), cb.signature.ToString()) << where;
+
+  for (std::size_t k = 0; k < kNumMessageKinds; ++k) {
+    const auto kind = static_cast<MessageKind>(k);
+    EXPECT_EQ(a.net.messages(kind), b.net.messages(kind)) << where;
+    EXPECT_EQ(a.net.bytes(kind), b.net.bytes(kind)) << where;
+  }
+}
+
+// --- targeted rebuild checks -------------------------------------------------
+//
+// A small deterministic epoch program with a known final value per word:
+// proc 0 rewrites one region every epoch (foreign history for the victim),
+// the victim (proc 1) rewrites its own region (its OWN archive must feed
+// the rebuild — the log models stable storage and survives the crash), and
+// proc 2 reads the victim's region at the end (the victim's shared-side
+// state must stay servable through the crash).
+struct EpochOutcome {
+  std::vector<int> victim_saw;
+  std::vector<int> peer_saw;
+  RunStats stats;
+};
+
+EpochOutcome RunEpochs(BackendKind backend, const FaultPlan& plan) {
+  RuntimeConfig cfg;
+  cfg.num_procs = 4;
+  cfg.heap_bytes = 1u << 20;
+  cfg.backend = backend;
+  cfg.fault = plan;
+  constexpr int kEpochs = 8;
+  constexpr std::size_t kWords = 16;
+
+  Runtime rt(cfg);
+  auto data = rt.Alloc<int>(1024, "data");
+  EpochOutcome out;
+  std::mutex mu;
+  rt.Run([&](Proc& p) {
+    for (int e = 0; e < kEpochs; ++e) {
+      if (p.id() == 0) {
+        for (std::size_t i = 0; i < kWords; ++i) {
+          p.Write(data, i, 1000 * (e + 1) + static_cast<int>(i));
+        }
+      }
+      if (p.id() == 1) {
+        for (std::size_t i = 0; i < kWords; ++i) {
+          p.Write(data, 64 + i, 500 * (e + 1) + static_cast<int>(i));
+        }
+      }
+      p.Barrier();
+    }
+    if (p.id() == 1) {
+      std::vector<int> got;
+      for (std::size_t i = 0; i < kWords; ++i) got.push_back(p.Read(data, i));
+      for (std::size_t i = 0; i < kWords; ++i) {
+        got.push_back(p.Read(data, 64 + i));
+      }
+      std::lock_guard lock(mu);
+      out.victim_saw = std::move(got);
+    }
+    if (p.id() == 2) {
+      std::vector<int> got;
+      for (std::size_t i = 0; i < kWords; ++i) {
+        got.push_back(p.Read(data, 64 + i));
+      }
+      std::lock_guard lock(mu);
+      out.peer_saw = std::move(got);
+    }
+    p.Barrier();
+  });
+  out.stats = rt.CollectStats();
+  return out;
+}
+
+void ExpectEpochValues(const EpochOutcome& out, const std::string& where) {
+  ASSERT_EQ(out.victim_saw.size(), 32u) << where;
+  ASSERT_EQ(out.peer_saw.size(), 16u) << where;
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(out.victim_saw[i], 8000 + static_cast<int>(i))
+        << where << " foreign word " << i;
+    EXPECT_EQ(out.victim_saw[16 + i], 4000 + static_cast<int>(i))
+        << where << " own word " << i;
+    EXPECT_EQ(out.peer_saw[i], 4000 + static_cast<int>(i))
+        << where << " peer-read word " << i;
+  }
+}
+
+TEST(RecoveryRebuild, LrcAtBarrierMatchesFailureFree) {
+  // Barrier 3: the first GC pass (interval 1, lag 2) has completed, so the
+  // rebuild exercises checkpoint bases + log tail, not just log replay.
+  const EpochOutcome fault =
+      RunEpochs(BackendKind::kLrc, FaultPlan::AtBarrier(1, 3));
+  const EpochOutcome clean = RunEpochs(BackendKind::kLrc, FaultPlan{});
+  ExpectEpochValues(fault, "lrc at-barrier");
+  EXPECT_EQ(fault.victim_saw, clean.victim_saw);
+  EXPECT_EQ(fault.peer_saw, clean.peer_saw);
+  EXPECT_EQ(fault.stats.comm.recoveries, 1u);
+  EXPECT_GT(fault.stats.comm.recovery_messages, 0u);
+  EXPECT_GT(fault.stats.comm.recovery_units, 0u);
+  EXPECT_GT(fault.stats.recovery_modelled_ns, 0);
+  EXPECT_EQ(clean.stats.comm.recoveries, 0u);
+}
+
+TEST(RecoveryRebuild, LrcEarlyBarrierRebuildsFromPureLogReplay) {
+  // Barrier 1: no GC pass has run yet — no canonical bases, the rebuild
+  // is pure archive replay from the zero heap.
+  const EpochOutcome fault =
+      RunEpochs(BackendKind::kLrc, FaultPlan::AtBarrier(1, 1));
+  ExpectEpochValues(fault, "lrc early barrier");
+  EXPECT_EQ(fault.stats.comm.recoveries, 1u);
+  EXPECT_GT(fault.stats.comm.recovery_records, 0u);
+}
+
+TEST(RecoveryRebuild, LrcAfterReleaseRebuildsMidInterval) {
+  const EpochOutcome fault =
+      RunEpochs(BackendKind::kLrc, FaultPlan::AfterRelease(1, 2));
+  const EpochOutcome clean = RunEpochs(BackendKind::kLrc, FaultPlan{});
+  ExpectEpochValues(fault, "lrc after-release");
+  EXPECT_EQ(fault.victim_saw, clean.victim_saw);
+  EXPECT_EQ(fault.peer_saw, clean.peer_saw);
+  EXPECT_EQ(fault.stats.comm.recoveries, 1u);
+}
+
+TEST(RecoveryRebuild, HlrcAtBarrierRebuildsFromHomes) {
+  const EpochOutcome fault =
+      RunEpochs(BackendKind::kHlrc, FaultPlan::AtBarrier(1, 3));
+  const EpochOutcome clean = RunEpochs(BackendKind::kHlrc, FaultPlan{});
+  ExpectEpochValues(fault, "hlrc at-barrier");
+  EXPECT_EQ(fault.victim_saw, clean.victim_saw);
+  EXPECT_EQ(fault.peer_saw, clean.peer_saw);
+  EXPECT_EQ(fault.stats.comm.recoveries, 1u);
+  // HLRC recovery is whole-unit home copies: units but no replayed records.
+  EXPECT_GT(fault.stats.comm.recovery_units, 0u);
+  EXPECT_EQ(fault.stats.comm.recovery_records, 0u);
+}
+
+TEST(RecoveryRebuild, HlrcAfterReleaseRebuildsFromHomes) {
+  const EpochOutcome fault =
+      RunEpochs(BackendKind::kHlrc, FaultPlan::AfterRelease(1, 2));
+  ExpectEpochValues(fault, "hlrc after-release");
+  EXPECT_EQ(fault.stats.comm.recoveries, 1u);
+}
+
+// --- conformance sweep -------------------------------------------------------
+//
+// Every catalogue app, every unit size, both protocol backends, both crash
+// kinds: the post-recovery checksum must match the failure-free run bit
+// for bit (lock-scheduled apps to their catalogue tolerance).
+class RecoveryConformanceTest
+    : public ::testing::TestWithParam<ConformanceScenario> {};
+
+TEST_P(RecoveryConformanceTest, PostRecoveryChecksumMatchesFailureFree) {
+  const ConformanceScenario& s = GetParam();
+  const FaultPlan kPlans[] = {
+      FaultPlan::AtBarrier(1, 1),
+      FaultPlan::AfterRelease(1, 2),
+  };
+  for (const AggPoint& agg : kAggs) {
+    for (BackendKind backend : {BackendKind::kLrc, BackendKind::kHlrc}) {
+      RuntimeConfig cfg;
+      cfg.num_procs = s.num_procs;
+      cfg.aggregation = agg.mode;
+      cfg.pages_per_unit = agg.ppu;
+      cfg.backend = backend;
+      const std::string cell =
+          s.app + " @ " + agg.label +
+          (backend == BackendKind::kLrc ? " LRC" : " HLRC");
+
+      auto base_app = MakeApp(s.app, s.dataset);
+      const AppRun baseline = Execute(*base_app, cfg);
+      EXPECT_EQ(baseline.stats.comm.recoveries, 0u) << cell;
+
+      for (const FaultPlan& plan : kPlans) {
+        const std::string where =
+            cell + (plan.kind == FaultKind::kAtBarrier ? " at-barrier"
+                                                       : " after-release");
+        RuntimeConfig fcfg = cfg;
+        fcfg.fault = plan;
+        auto app = MakeApp(s.app, s.dataset);
+        const AppRun run = Execute(*app, fcfg);
+        if (plan.kind == FaultKind::kAfterRelease && s.rel_tol > 0.0) {
+          // Lock-scheduled apps distribute work by host timing: the victim
+          // may close fewer non-empty intervals than the trigger (TSP's
+          // queue can starve a worker), so the plan fires at most once.
+          EXPECT_LE(run.stats.comm.recoveries, 1u) << where;
+        } else {
+          EXPECT_EQ(run.stats.comm.recoveries, 1u) << where;
+        }
+        if (s.rel_tol == 0.0) {
+          EXPECT_EQ(run.result, baseline.result) << where;
+        } else {
+          EXPECT_NEAR(run.result / baseline.result, 1.0, s.rel_tol) << where;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, RecoveryConformanceTest,
+    ::testing::ValuesIn(ConformanceScenarios()),
+    [](const ::testing::TestParamInfo<ConformanceScenario>& info) {
+      std::string name = info.param.app;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// --- determinism -------------------------------------------------------------
+//
+// The same plan — seed-derived victim included — twice must reproduce the
+// run bit for bit: checksum, full modelled state, recovery telemetry.
+// Swept over backend × unit size × gc cadence.
+TEST(RecoveryDeterminism, SameSeedTwiceIsBitIdentical) {
+  for (BackendKind backend : {BackendKind::kLrc, BackendKind::kHlrc}) {
+    for (const AggPoint& agg : kAggs) {
+      for (int gc : {1, 4}) {
+        for (FaultPlan plan :
+             {FaultPlan::AtBarrier(-1, 2, 0x5eedULL),
+              FaultPlan::AfterRelease(-1, 2, 0x5eedULL)}) {
+          const std::string where =
+              std::string(backend == BackendKind::kLrc ? "LRC" : "HLRC") +
+              " @ " + agg.label + " gc=" + std::to_string(gc) +
+              (plan.kind == FaultKind::kAtBarrier ? " at-barrier"
+                                                  : " after-release");
+          RuntimeConfig cfg;
+          cfg.num_procs = 4;
+          cfg.aggregation = agg.mode;
+          cfg.pages_per_unit = agg.ppu;
+          cfg.backend = backend;
+          cfg.gc_interval_barriers = gc;
+          cfg.fault = plan;
+
+          auto app_a = MakeApp("Jacobi", "tiny");
+          const AppRun a = Execute(*app_a, cfg);
+          auto app_b = MakeApp("Jacobi", "tiny");
+          const AppRun b = Execute(*app_b, cfg);
+
+          EXPECT_EQ(a.stats.comm.recoveries, 1u) << where;
+          EXPECT_GT(a.stats.recovery_modelled_ns, 0) << where;
+          EXPECT_EQ(a.result, b.result) << where;
+          ExpectModelledStateEqual(a.stats, b.stats, where);
+        }
+      }
+    }
+  }
+}
+
+// The seed drives the victim choice deterministically and never picks the
+// barrier manager.
+TEST(RecoveryDeterminism, SeedDerivedVictimIsStableAndNeverProcZero) {
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const FaultPlan p =
+        ResolveFaultPlan(FaultPlan::AtBarrier(-1, 1, seed), 8);
+    const FaultPlan q =
+        ResolveFaultPlan(FaultPlan::AtBarrier(-1, 1, seed), 8);
+    EXPECT_EQ(p.victim, q.victim) << seed;
+    EXPECT_GE(p.victim, 1) << seed;
+    EXPECT_LT(p.victim, 8) << seed;
+  }
+  // An explicit victim passes through untouched.
+  EXPECT_EQ(ResolveFaultPlan(FaultPlan::AtBarrier(3, 1, 42), 8).victim, 3);
+}
+
+// --- validation --------------------------------------------------------------
+
+TEST(RecoveryValidation, LrcWithoutGcFailsFastWithClearError) {
+  RuntimeConfig cfg;
+  cfg.num_procs = 4;
+  cfg.gc_interval_barriers = 0;  // no GC → no canonical-base checkpoints
+  cfg.fault = FaultPlan::AtBarrier(1, 1);
+  try {
+    Runtime rt(cfg);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("no checkpoint available"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RecoveryValidation, ReferenceBackendRejectsFaultPlans) {
+  RuntimeConfig cfg;
+  cfg.num_procs = 4;
+  cfg.backend = BackendKind::kReference;
+  cfg.fault = FaultPlan::AtBarrier(1, 1);
+  EXPECT_THROW(Runtime rt(cfg), std::invalid_argument);
+}
+
+// --- telemetry gating --------------------------------------------------------
+//
+// PR 5's zero-entry skip rule: recovery counters appear in ToString only
+// when a fault actually fired, so no-fault output is byte-identical to
+// builds that predate the subsystem.
+TEST(RecoveryTelemetry, EmittedOnlyWhenAFaultFired) {
+  const EpochOutcome clean = RunEpochs(BackendKind::kLrc, FaultPlan{});
+  EXPECT_EQ(clean.stats.ToString().find("recovery"), std::string::npos);
+  EXPECT_EQ(clean.stats.comm.ToString().find("recovery"), std::string::npos);
+  EXPECT_EQ(clean.stats.recovery_modelled_ns, 0);
+  EXPECT_EQ(clean.stats.recovery_wall_ns, 0u);
+
+  const EpochOutcome fault =
+      RunEpochs(BackendKind::kLrc, FaultPlan::AtBarrier(1, 3));
+  EXPECT_NE(fault.stats.ToString().find("recovery_time:"), std::string::npos);
+  EXPECT_NE(fault.stats.comm.ToString().find("recovery: episodes=1"),
+            std::string::npos);
+  // Recovery messages count toward the totals but stay outside the
+  // reader-side delivered-byte taxonomy.
+  EXPECT_EQ(fault.stats.comm.total_data_bytes(),
+            fault.stats.comm.delivered_data_bytes);
+}
+
+}  // namespace
+}  // namespace dsm::apps

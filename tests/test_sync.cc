@@ -4,6 +4,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "core/runtime.h"
@@ -226,6 +227,89 @@ TEST(Barrier, GenerationVectorClockDoesNotLeakForward) {
   EXPECT_EQ(r2.global_vc[1], 2u);
 }
 
+// --- crash sweep (DESIGN.md §9) ----------------------------------------------
+//
+// LockService::OnCrash must leave the service fully operational for the
+// survivors AND for the transparently-recovered victim: force-released
+// locks publish the recovered clock, parked survivors get woken (the old
+// code's FIFO assumed every queued waiter eventually arrives — a crashed
+// waiter at the front would wedge the handoff), cached tokens die with
+// the node, and the victim's in-flight release becomes an orphan no-op.
+
+TEST(LockRecovery, CrashSweepForceReleasesAndUnblocksWaiters) {
+  LockService svc(2, 4);
+  // Proc 1 holds lock 0 and has a cached token on lock 1.
+  (void)svc.Acquire(0, 1);
+  (void)svc.Acquire(1, 1);
+  VectorClock held_vc(4);
+  held_vc[1] = 3;
+  svc.Release(1, 1, held_vc, 100);  // owner stays 1 → token cached
+
+  // Proc 2 parks behind the held lock on a real thread.
+  LockService::Grant g2;
+  std::thread waiter([&] { g2 = svc.Acquire(0, 2); });
+  // Give it time to park; the sweep's force-release grants it either way.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  VectorClock crash_vc(4);
+  crash_vc[1] = 7;
+  svc.OnCrash(1, crash_vc, 5000);
+  waiter.join();
+
+  // The waiter took the force-released lock and observed exactly the
+  // clock/time the sweep published on the victim's behalf.
+  EXPECT_FALSE(g2.cached);
+  EXPECT_EQ(g2.release_vc[1], 7u);
+  EXPECT_EQ(g2.release_time, 5000);
+
+  // The recovered victim's thread still executes its release of lock 0
+  // (transparent recovery): an orphan no-op, not a double-release abort.
+  svc.Release(0, 1, crash_vc, 6000);
+  // The new holder releases normally.
+  svc.Release(0, 2, crash_vc, 7000);
+
+  // The cached token on lock 1 died with the node: the victim's next
+  // acquire is a real transfer, not a cached local grant.
+  const std::uint64_t transfers_before = svc.transfers(1);
+  const LockService::Grant g1 = svc.Acquire(1, 1);
+  EXPECT_FALSE(g1.cached);
+  EXPECT_EQ(svc.transfers(1), transfers_before + 1);
+  svc.Release(1, 1, crash_vc, 8000);
+}
+
+TEST(LockRecovery, CrashSweepKeepsSurvivorFifoOrderAndRequeuesVictim) {
+  // Queue [victim, survivor] behind a holder.  The sweep erases the
+  // victim; the survivor must be served first, and the (live, recovered)
+  // victim's parked Acquire detects the erasure and deterministically
+  // requeues at the back instead of wedging the handoff.
+  LockService svc(1, 4);
+  (void)svc.Acquire(0, 3);  // holder
+
+  std::atomic<int> grant_order{0};
+  int victim_rank = -1;
+  int survivor_rank = -1;
+  std::thread victim([&] {
+    (void)svc.Acquire(0, 1);
+    victim_rank = grant_order.fetch_add(1) + 1;
+    svc.Release(0, 1, VectorClock(4), 0);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::thread survivor([&] {
+    (void)svc.Acquire(0, 2);
+    survivor_rank = grant_order.fetch_add(1) + 1;
+    svc.Release(0, 2, VectorClock(4), 0);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  svc.OnCrash(1, VectorClock(4), 0);
+  svc.Release(0, 3, VectorClock(4), 0);  // holder hands off
+  victim.join();
+  survivor.join();
+
+  EXPECT_EQ(survivor_rank, 1);
+  EXPECT_EQ(victim_rank, 2);
+}
+
 TEST(Runtime, RunTwiceRejected) {
   Runtime rt(Config(2));
   rt.Run([](Proc&) {});
@@ -233,7 +317,9 @@ TEST(Runtime, RunTwiceRejected) {
 }
 
 TEST(Runtime, BodyExceptionPropagates) {
-  Runtime rt(Config(1));
+  RuntimeConfig cfg = Config(1);
+  cfg.allow_sequential = true;
+  Runtime rt(cfg);
   EXPECT_THROW(rt.Run([](Proc&) { throw std::runtime_error("app bug"); }),
                std::runtime_error);
 }
