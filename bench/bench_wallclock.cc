@@ -86,7 +86,8 @@ std::uint64_t ModelledFingerprint(double result, const RunStats& stats) {
   if (c.recoveries > 0) {
     for (std::uint64_t v : {c.recoveries, c.recovery_messages,
                             c.recovery_data_bytes, c.recovery_units,
-                            c.recovery_records}) {
+                            c.recovery_records, c.recovery_retransmits,
+                            c.recovery_retransmit_bytes}) {
       fp.Mix(v);
     }
     fp.Mix(static_cast<std::uint64_t>(stats.recovery_modelled_ns));
@@ -151,13 +152,19 @@ const BackendPoint kBackends[] = {
 
 struct Row {
   std::string app, dataset, mode, backend;
-  std::string fault;  // crash-plan spec, "" = failure-free row
+  std::string fault;  // crash-schedule spec, "" = failure-free row
   int procs = 8;
+  int gc_lag = 0;  // non-default gc_lag_barriers for fault-sweep rows
   bool stable = false;
   double wall_ms = 0;
   double modelled_ms = 0;
   double result = 0;
   std::uint64_t fingerprint = 0;
+  // Recovery-cost axis (fault rows only): modelled recovery latency and
+  // the bytes/retransmits the rebuilds put on the books.
+  double recovery_ms = 0;
+  std::uint64_t recovery_bytes = 0;
+  std::uint64_t recovery_retransmits = 0;
   MemoryFootprint mem;
 };
 
@@ -166,8 +173,16 @@ void Usage(std::FILE* f) {
       f,
       "usage: bench_wallclock [--procs=N[,N...]] [--gc=N] [--app=SUBSTR]\n"
       "                       [--mode=SUBSTR] [--backend=LRC|HLRC]\n"
-      "                       [--fault=barrier:V@N|release:V@M|seed:S]\n"
-      "                       [--out=PATH] [--baseline=PATH]\n");
+      "                       [--fault=EVENT[+EVENT...]|seed:S]\n"
+      "                       [--fault-sweep] [--out=PATH] "
+      "[--baseline=PATH]\n"
+      "  EVENT is barrier:V@N (kill proc V at its N-th barrier) or\n"
+      "  release:V@M (kill proc V after its M-th interval close); '+'\n"
+      "  chains events into an ordered multi-fault schedule.  Any victim\n"
+      "  is legal, proc 0 included.  seed:S derives the whole schedule\n"
+      "  from the 64-bit seed S.  --fault-sweep runs the recovery-cost\n"
+      "  slice: a proc-0 + home-crash schedule across gc_lag_barriers\n"
+      "  in {1,2,4,8} on both backends.\n");
 }
 
 // Validated numeric flag parsing: the whole token must be a base-10
@@ -187,22 +202,24 @@ int ParseCount(const char* flag, const char* s, int min_value) {
   return static_cast<int>(v);
 }
 
-// A crash plan plus the row tag it is reported under.  Default = inert.
+// A crash schedule plus the row tag it is reported under.  Default = inert.
 struct FaultSpec {
   std::string label;  // "" = no fault
-  dsm::FaultPlan plan;
+  dsm::FaultSchedule schedule;
 };
 
-// --fault accepts "barrier:V@N" (kill proc V at its N-th barrier),
-// "release:V@M" (kill proc V after its M-th interval close), or
-// "seed:S" (plan fully derived from the 64-bit seed S).  Anything else is
-// a usage error (exit 2) — a silently ignored crash spec would report
-// failure-free numbers as a fault row.
+// --fault accepts an ordered '+'-separated schedule of crash events —
+// "barrier:V@N" (kill proc V at its N-th barrier) and "release:V@M"
+// (kill proc V after its M-th interval close), any victim including
+// proc 0, e.g. "barrier:0@4+release:2@6" — or "seed:S" (1–3 events fully
+// derived from the 64-bit seed S).  Anything else is a usage error
+// (exit 2) — a silently ignored crash spec would report failure-free
+// numbers as a fault row.
 FaultSpec ParseFaultSpec(const char* s) {
   auto fail = [s]() -> FaultSpec {
     std::fprintf(stderr,
-                 "--fault: invalid spec '%s' (want barrier:V@N, "
-                 "release:V@M, or seed:S)\n",
+                 "--fault: invalid spec '%s' (want barrier:V@N or "
+                 "release:V@M, '+'-chained, or seed:S)\n",
                  s);
     Usage(stderr);
     std::exit(2);
@@ -214,20 +231,31 @@ FaultSpec ParseFaultSpec(const char* s) {
     errno = 0;
     const unsigned long long seed = std::strtoull(s + 5, &end, 10);
     if (errno != 0 || end == s + 5 || *end != '\0') return fail();
-    spec.plan = dsm::FaultPlan::FromSeed(seed);
+    spec.schedule = dsm::FaultSchedule::FromSeed(seed);
     return spec;
   }
-  const bool at_barrier = std::strncmp(s, "barrier:", 8) == 0;
-  const bool after_release = std::strncmp(s, "release:", 8) == 0;
-  if (!at_barrier && !after_release) return fail();
-  const char* p = s + 8;
-  const char* at = std::strchr(p, '@');
-  if (at == nullptr || at == p || at[1] == '\0') return fail();
-  const int victim =
-      ParseCount("--fault victim", std::string(p, at).c_str(), 1);
-  const int point = ParseCount("--fault point", at + 1, at_barrier ? 0 : 1);
-  spec.plan = at_barrier ? dsm::FaultPlan::AtBarrier(victim, point)
-                         : dsm::FaultPlan::AfterRelease(victim, point);
+  const char* p = s;
+  while (true) {
+    const char* plus = std::strchr(p, '+');
+    const std::string tok =
+        plus != nullptr ? std::string(p, plus) : std::string(p);
+    const bool at_barrier = tok.compare(0, 8, "barrier:") == 0;
+    const bool after_release = tok.compare(0, 8, "release:") == 0;
+    if (!at_barrier && !after_release) return fail();
+    const std::size_t at = tok.find('@', 8);
+    if (at == std::string::npos || at == 8 || at + 1 == tok.size()) {
+      return fail();
+    }
+    const int victim =
+        ParseCount("--fault victim", tok.substr(8, at - 8).c_str(), 0);
+    const int point = ParseCount("--fault point", tok.c_str() + at + 1,
+                                 at_barrier ? 0 : 1);
+    spec.schedule.events.push_back(
+        at_barrier ? dsm::FaultPlan::AtBarrier(victim, point)
+                   : dsm::FaultPlan::AfterRelease(victim, point));
+    if (plus == nullptr) break;
+    p = plus + 1;
+  }
   return spec;
 }
 
@@ -249,14 +277,15 @@ std::vector<int> ParseProcsList(const char* s) {
 
 Row RunCell(const BenchScenario& s, const ModePoint& mode,
             const BackendPoint& backend, int num_procs, int gc_interval,
-            const FaultSpec& fault) {
+            const FaultSpec& fault, int gc_lag = 0) {
   RuntimeConfig cfg;
   cfg.num_procs = num_procs;
   cfg.aggregation = mode.mode;
   cfg.pages_per_unit = mode.pages_per_unit;
   cfg.backend = backend.backend;
   cfg.gc_interval_barriers = gc_interval;
-  cfg.fault = fault.plan;
+  cfg.fault = fault.schedule;
+  if (gc_lag > 0) cfg.gc_lag_barriers = gc_lag;
 
   auto app = apps::MakeApp(s.app, s.dataset);
   const auto t0 = std::chrono::steady_clock::now();
@@ -270,12 +299,17 @@ Row RunCell(const BenchScenario& s, const ModePoint& mode,
   row.backend = backend.label;
   row.fault = fault.label;
   row.procs = num_procs;
+  row.gc_lag = gc_lag;
   row.stable = s.stable;
   row.wall_ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count();
   row.modelled_ms = run.stats.exec_seconds() * 1e3;
   row.result = run.result;
   row.fingerprint = ModelledFingerprint(run.result, run.stats);
+  row.recovery_ms =
+      static_cast<double>(run.stats.recovery_modelled_ns) / 1e6;
+  row.recovery_bytes = run.stats.comm.recovery_data_bytes;
+  row.recovery_retransmits = run.stats.comm.recovery_retransmits;
   row.mem = run.stats.mem;
   return row;
 }
@@ -286,6 +320,7 @@ struct BaselineRow {
   std::string app, dataset, mode, backend;
   std::string fault;  // absent in pre-fault baselines → ""
   int procs = 8;
+  int gc_lag = 0;  // absent outside fault-sweep rows → 0
   bool stable = false;
   double wall_ms = 0;
 };
@@ -320,6 +355,8 @@ std::vector<BaselineRow> ReadBaseline(const std::string& path) {
     // Baselines written before the procs dimension are all 8-processor.
     const char* pp = std::strstr(line, "\"procs\": ");
     if (pp != nullptr) r.procs = std::atoi(pp + 9);
+    const char* gl = std::strstr(line, "\"gc_lag\": ");
+    if (gl != nullptr) r.gc_lag = std::atoi(gl + 10);
     r.stable = std::strstr(line, "\"stable\": true") != nullptr;
     const char* w = std::strstr(line, "\"wall_ms\": ");
     if (w != nullptr) r.wall_ms = std::atof(w + 11);
@@ -342,7 +379,7 @@ int CompareToBaseline(const std::vector<Row>& rows,
     for (const BaselineRow& b : baseline) {
       if (b.app == r.app && b.dataset == r.dataset && b.mode == r.mode &&
           b.backend == r.backend && b.fault == r.fault &&
-          b.procs == r.procs) {
+          b.procs == r.procs && b.gc_lag == r.gc_lag) {
         base = &b;
         break;
       }
@@ -386,11 +423,27 @@ void WriteJson(const std::vector<Row>& rows, const std::string& path) {
   std::fprintf(f, "{\n  \"rows\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
-    // Failure-free rows omit the fault field entirely (zero-entry skip
-    // rule): a pre-fault baseline and a regenerated one stay line-for-line
-    // comparable on every pre-existing row.
-    const std::string fault_field =
+    // Failure-free rows omit the fault/recovery fields entirely
+    // (zero-entry skip rule): a pre-fault baseline and a regenerated one
+    // stay line-for-line comparable on every pre-existing row.  Fault
+    // rows carry the full schedule spec plus the recovery-cost axis
+    // (modelled recovery latency, recovery bytes, retransmits), and
+    // fault-sweep rows add the gc_lag point they were run at.
+    std::string fault_field =
         r.fault.empty() ? "" : "\"fault\": \"" + r.fault + "\", ";
+    if (!r.fault.empty() && r.gc_lag > 0) {
+      fault_field += "\"gc_lag\": " + std::to_string(r.gc_lag) + ", ";
+    }
+    if (!r.fault.empty()) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "\"recovery_ms\": %.6f, \"recovery_bytes\": %llu, "
+                    "\"recovery_retransmits\": %llu, ",
+                    r.recovery_ms,
+                    static_cast<unsigned long long>(r.recovery_bytes),
+                    static_cast<unsigned long long>(r.recovery_retransmits));
+      fault_field += buf;
+    }
     std::fprintf(
         f,
         "    {\"app\": \"%s\", \"dataset\": \"%s\", \"mode\": "
@@ -436,6 +489,7 @@ int main(int argc, char** argv) {
   int gc_interval = dsm::RuntimeConfig{}.gc_interval_barriers;
   std::string app_filter, mode_filter, backend_filter, baseline_path;
   FaultSpec fault_spec;  // inert unless --fault= is given
+  bool fault_sweep_only = false;
   bool explicit_out = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) {
@@ -465,8 +519,10 @@ int main(int argc, char** argv) {
       // matching would make --backend=LRC select both trajectories.
       backend_filter = argv[i] + 10;
     } else if (std::strncmp(argv[i], "--fault=", 8) == 0) {
-      // Run every selected row under this crash plan (DESIGN.md §9).
+      // Run every selected row under this crash schedule (DESIGN.md §9).
       fault_spec = ParseFaultSpec(argv[i] + 8);
+    } else if (std::strcmp(argv[i], "--fault-sweep") == 0) {
+      fault_sweep_only = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
       Usage(stderr);
@@ -487,11 +543,11 @@ int main(int argc, char** argv) {
               "peak_arch_KB");
   auto run_and_print = [&](const BenchScenario& s, const ModePoint& mode,
                            const BackendPoint& backend, int np,
-                           const FaultSpec& fault) {
-    Row row = RunCell(s, mode, backend, np, gc_interval, fault);
+                           const FaultSpec& fault, int gc_lag = 0) {
+    Row row = RunCell(s, mode, backend, np, gc_interval, fault, gc_lag);
     std::printf(
         "%-8s %-10s %-4s %-4s %5d %10.1f %14.3f  %016llx %-6s %12llu "
-        "%14llu%s%s\n",
+        "%14llu%s%s",
         row.app.c_str(), row.dataset.c_str(), row.mode.c_str(),
         row.backend.c_str(), row.procs, row.wall_ms, row.modelled_ms,
         static_cast<unsigned long long>(row.fingerprint),
@@ -499,18 +555,47 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(row.mem.peak_live_intervals),
         static_cast<unsigned long long>(row.mem.peak_archive_bytes / 1024),
         row.fault.empty() ? "" : "  fault=", row.fault.c_str());
+    if (!row.fault.empty()) {
+      std::printf("  lag=%d recovery=%.3fms/%lluB/%llu rexmit", row.gc_lag,
+                  row.recovery_ms,
+                  static_cast<unsigned long long>(row.recovery_bytes),
+                  static_cast<unsigned long long>(row.recovery_retransmits));
+    }
+    std::printf("\n");
     rows.push_back(std::move(row));
   };
-  for (const BackendPoint& backend : kBackends) {
-    if (!backend_filter.empty() && backend_filter != backend.label) {
-      continue;
+  // Recovery-cost slice (DESIGN.md §9): a three-event schedule covering a
+  // proc-0 coordinator failover and — under HLRC, where every victim is
+  // also a home — two home crashes, swept across the GC lag (which sets
+  // how much log tail an LRC rebuild must replay above the checkpoint)
+  // on both backends.  Part of the full default sweep so the rows are
+  // tracked in BENCH_wallclock.json; --fault-sweep runs just this slice.
+  auto run_fault_sweep = [&]() {
+    const BenchScenario jacobi{"Jacobi", "1Kx1K", true};
+    FaultSpec sched;
+    sched.label = "barrier:0@4+release:2@6";
+    sched.schedule.events = {dsm::FaultPlan::AtBarrier(0, 4),
+                             dsm::FaultPlan::AfterRelease(2, 6)};
+    for (const BackendPoint& backend : kBackends) {
+      for (int lag : {1, 2, 4, 8}) {
+        run_and_print(jacobi, kModes[0], backend, 8, sched, lag);
+      }
     }
-    for (const BenchScenario& s : kScenarios) {
-      if (!matches(app_filter, s.app)) continue;
-      for (const ModePoint& mode : kModes) {
-        if (!matches(mode_filter, mode.label)) continue;
-        for (int np : procs_list) {
-          run_and_print(s, mode, backend, np, fault_spec);
+  };
+  if (fault_sweep_only) {
+    run_fault_sweep();
+  } else {
+    for (const BackendPoint& backend : kBackends) {
+      if (!backend_filter.empty() && backend_filter != backend.label) {
+        continue;
+      }
+      for (const BenchScenario& s : kScenarios) {
+        if (!matches(app_filter, s.app)) continue;
+        for (const ModePoint& mode : kModes) {
+          if (!matches(mode_filter, mode.label)) continue;
+          for (int np : procs_list) {
+            run_and_print(s, mode, backend, np, fault_spec);
+          }
         }
       }
     }
@@ -520,7 +605,7 @@ int main(int argc, char** argv) {
   // full-sweep baseline at the default path.
   const bool partial = !app_filter.empty() || !mode_filter.empty() ||
                        !backend_filter.empty() || !default_procs ||
-                       !fault_spec.label.empty() ||
+                       !fault_spec.label.empty() || fault_sweep_only ||
                        gc_interval !=
                            dsm::RuntimeConfig{}.gc_interval_barriers;
   // Cluster-scaling trajectory (DESIGN.md §8): the full default sweep also
@@ -548,6 +633,10 @@ int main(int argc, char** argv) {
         run_and_print(jacobi, kModes[0], backend, 8, fault);
       }
     }
+    // Recovery-cost axis: the multi-fault gc_lag sweep rides the full
+    // default sweep too, so its recovery_ms / recovery_bytes rows are
+    // tracked in the committed baseline.
+    run_fault_sweep();
   }
   // Read the baseline BEFORE writing results (--out may point at the
   // same file; CI reuses the committed baseline path for the artifact),

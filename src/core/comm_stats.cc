@@ -24,6 +24,8 @@ void CommBreakdown::Merge(const CommBreakdown& other) {
   recovery_data_bytes += other.recovery_data_bytes;
   recovery_units += other.recovery_units;
   recovery_records += other.recovery_records;
+  recovery_retransmits += other.recovery_retransmits;
+  recovery_retransmit_bytes += other.recovery_retransmit_bytes;
   signature.Merge(other.signature);
   read_faults += other.read_faults;
   write_faults += other.write_faults;
@@ -58,7 +60,9 @@ std::string CommBreakdown::ToString() const {
     out << "recovery: episodes=" << recoveries
         << " messages=" << recovery_messages << " ("
         << recovery_data_bytes << " B) units=" << recovery_units
-        << " records=" << recovery_records << "\n";
+        << " records=" << recovery_records << " retransmits="
+        << recovery_retransmits << " (" << recovery_retransmit_bytes
+        << " B)\n";
   }
   if (notice_clock_bytes_dense > 0) {
     out << "notice clocks: sparse=" << notice_clock_bytes

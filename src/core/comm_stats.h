@@ -73,6 +73,14 @@ struct CommBreakdown {
   std::uint64_t recovery_data_bytes = 0;    // checkpoint/home/log payload
   std::uint64_t recovery_units = 0;         // units rebuilt into the image
   std::uint64_t recovery_records = 0;       // archive records replayed (LRC)
+  // HLRC home-crash retransmits: an exchange addressed to a crashed,
+  // re-homed unit times out and is re-sent to the new home.  Each node
+  // pays this once per re-home batch, at its first home contact after the
+  // batch takes effect (it learns the new map from the timeout).  Like
+  // the other recovery counters: zero, fingerprint-skipped, and outside
+  // the reader-side taxonomy unless a schedule actually fired.
+  std::uint64_t recovery_retransmits = 0;       // timed-out, re-sent requests
+  std::uint64_t recovery_retransmit_bytes = 0;  // request payload re-sent
 
   // False sharing signature (Figure 3): bucket k = faults that contacted k
   // concurrent writers; per bucket, exchanges split useful/useless.
@@ -102,7 +110,7 @@ struct CommBreakdown {
 
   std::uint64_t total_messages() const {
     return useful_messages + useless_messages + sync_messages +
-           home_flush_messages + recovery_messages;
+           home_flush_messages + recovery_messages + recovery_retransmits;
   }
   std::uint64_t total_data_bytes() const {
     return useful_data_bytes + piggyback_useless_bytes +

@@ -5,6 +5,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "mem/types.h"
 #include "net/network_model.h"
@@ -77,14 +79,17 @@ enum class FaultKind : std::uint8_t {
   kAfterRelease,
 };
 
-// A seeded, fully deterministic crash plan.  An armed plan (kind != kNone)
-// drives the FaultInjector (src/core/fault.h); a default-constructed plan is
-// inert and leaves every modelled number and fingerprint bit-identical to a
-// build without the subsystem.
+// One seeded, fully deterministic crash event.  An armed event
+// (kind != kNone) is one entry of a FaultSchedule; a default-constructed
+// event is inert and leaves every modelled number and fingerprint
+// bit-identical to a build without the subsystem.
 struct FaultPlan {
   FaultKind kind = FaultKind::kNone;
   // Victim processor id.  Negative → derived deterministically from `seed`
-  // at Runtime construction (never proc 0, which hosts the serial GC pass).
+  // at Runtime construction, uniform over ALL processors — proc 0
+  // included; a proc-0 crash migrates the coordinator roles (serial GC,
+  // HLRC watermark prune, barrier-manager cost asymmetry) to the lowest
+  // surviving rank for the crash barrier and back on rebuild.
   int victim = -1;
   // kAtBarrier: 0-based global barrier index at which the victim dies.
   int barrier = 0;
@@ -117,6 +122,43 @@ struct FaultPlan {
   // Fully seeded plan: kind, victim and trigger point all derived from
   // `seed` (used by the fuzz-style determinism tests).
   static FaultPlan FromSeed(std::uint64_t seed);
+
+  // "barrier:V@N" / "release:V@M" (bench_wallclock's --fault syntax;
+  // "V" is "?" while a seeded victim is still unresolved).
+  std::string Label() const;
+};
+
+// An ordered list of seeded crash events (DESIGN.md §9).  Events may name
+// different victims or the same victim more than once — a repeat victim
+// fires again only after its earlier recovery, which is automatic because
+// every trigger point is served on the victim's own thread in program
+// order.  No processor is excluded: the schedule may kill proc 0 (the
+// coordinator roles migrate for the crash barrier) or an HLRC home node
+// (the home's units are re-homed and surviving flushes retransmit).  Each
+// event's trigger point is an absolute victim-local count from the start
+// of the run, which is what keeps multi-fault runs bit-reproducible: no
+// event's firing depends on cross-thread timing, only on its own victim's
+// deterministic progress.  A default-constructed schedule is inert.
+struct FaultSchedule {
+  std::vector<FaultPlan> events;
+  // Seed for derived choices (per-event victims when victim < 0).
+  std::uint64_t seed = 0;
+
+  FaultSchedule() = default;
+  // Single-event schedule; keeps FaultPlan call sites source-compatible.
+  FaultSchedule(const FaultPlan& plan) {  // NOLINT(runtime/explicit)
+    if (plan.armed()) events.push_back(plan);
+    seed = plan.seed;
+  }
+
+  bool armed() const { return !events.empty(); }
+
+  // Fully seeded schedule: 1–3 events whose kinds, trigger points and
+  // victims (any processor, proc 0 included) all derive from `seed`.
+  static FaultSchedule FromSeed(std::uint64_t seed);
+
+  // "+"-joined event labels: "barrier:1@2+release:0@4".
+  std::string Label() const;
 };
 
 struct RuntimeConfig {
@@ -197,10 +239,11 @@ struct RuntimeConfig {
   // Number of DSM lock ids available to the application.
   int num_locks = 4096;
 
-  // Deterministic crash plan (DESIGN.md §9).  Default-constructed = no
-  // fault; armed plans require a checkpoint source (LRC needs
-  // gc_interval_barriers > 0, see Validate()).
-  FaultPlan fault;
+  // Deterministic crash schedule (DESIGN.md §9).  Default-constructed =
+  // no fault; armed schedules require a checkpoint source only under LRC
+  // (gc_interval_barriers > 0, see Validate()) — HLRC recovery rebuilds
+  // from home images and needs no checkpoints.
+  FaultSchedule fault;
 
   // A DSM with one processor is degenerate (no sharing, no protocol) and
   // almost always a mis-filled config — Validate() rejects num_procs < 2

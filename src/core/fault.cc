@@ -93,21 +93,64 @@ void RuntimeConfig::Validate() const {
       Invalid("fault injection requires num_procs >= 2 (someone must "
               "survive the crash)");
     }
-    if (fault.victim == 0) {
-      Invalid("fault.victim must not be processor 0 (the barrier manager "
-              "and serial-GC host)");
+    if (fault.events.size() > 64) {
+      Invalid("fault schedule has " + std::to_string(fault.events.size()) +
+              " events; limit 64");
     }
-    if (fault.victim >= num_procs) {
-      Invalid("fault.victim = " + std::to_string(fault.victim) +
-              " out of range for num_procs = " + std::to_string(num_procs));
+    for (std::size_t i = 0; i < fault.events.size(); ++i) {
+      const FaultPlan& e = fault.events[i];
+      const std::string slot = "fault.events[" + std::to_string(i) + "]";
+      if (!e.armed()) {
+        Invalid(slot + " is unarmed (kind == kNone); schedules hold only "
+                "armed events");
+      }
+      // Any victim is legal, processor 0 included: the coordinator roles
+      // fail over for the crash barrier (DESIGN.md §9).
+      if (e.victim >= num_procs) {
+        Invalid(slot + ".victim = " + std::to_string(e.victim) +
+                " out of range for num_procs = " + std::to_string(num_procs));
+      }
+      if (e.kind == FaultKind::kAtBarrier && e.barrier < 0) {
+        Invalid(slot + ".barrier must be >= 0 (got " +
+                std::to_string(e.barrier) + ")");
+      }
+      if (e.kind == FaultKind::kAfterRelease && e.release < 1) {
+        Invalid(slot + ".release must be >= 1 (got " +
+                std::to_string(e.release) + ")");
+      }
+      for (std::size_t j = 0; j < i; ++j) {
+        const FaultPlan& f = fault.events[j];
+        if (e.victim < 0 || f.victim != e.victim || f.kind != e.kind) {
+          continue;  // seeded victims are de-duplicated at resolve time
+        }
+        const bool same_point = e.kind == FaultKind::kAtBarrier
+                                    ? f.barrier == e.barrier
+                                    : f.release == e.release;
+        if (same_point) {
+          Invalid(slot + " duplicates event " + std::to_string(j) + " (" +
+                  e.Label() + "): a victim dies at most once per trigger "
+                  "point");
+        }
+      }
     }
-    if (fault.kind == FaultKind::kAtBarrier && fault.barrier < 0) {
-      Invalid("fault.barrier must be >= 0 (got " +
-              std::to_string(fault.barrier) + ")");
-    }
-    if (fault.kind == FaultKind::kAfterRelease && fault.release < 1) {
-      Invalid("fault.release must be >= 1 (got " +
-              std::to_string(fault.release) + ")");
+    // Every barrier phase needs a survivor to run the coordinator roles.
+    for (const FaultPlan& e : fault.events) {
+      if (e.kind != FaultKind::kAtBarrier || e.victim < 0) continue;
+      int dead = 0;
+      for (int v = 0; v < num_procs; ++v) {
+        for (const FaultPlan& f : fault.events) {
+          if (f.kind == FaultKind::kAtBarrier && f.victim == v &&
+              f.barrier == e.barrier) {
+            ++dead;
+            break;
+          }
+        }
+      }
+      if (dead == num_procs) {
+        Invalid("fault schedule kills every processor at barrier " +
+                std::to_string(e.barrier) +
+                "; at least one must survive to coordinate");
+      }
     }
     if (backend == BackendKind::kLrc && gc_interval_barriers == 0) {
       Invalid("no checkpoint available: LRC crash recovery rebuilds from "
@@ -132,46 +175,171 @@ FaultPlan FaultPlan::FromSeed(std::uint64_t seed) {
   return p;
 }
 
+std::string FaultPlan::Label() const {
+  if (!armed()) return "none";
+  const std::string v = victim < 0 ? "?" : std::to_string(victim);
+  return kind == FaultKind::kAtBarrier
+             ? "barrier:" + v + "@" + std::to_string(barrier)
+             : "release:" + v + "@" + std::to_string(release);
+}
+
+FaultSchedule FaultSchedule::FromSeed(std::uint64_t seed) {
+  FaultSchedule s;
+  s.seed = seed;
+  const int count = 1 + static_cast<int>(Mix64(seed) % 3);
+  for (int i = 0; i < count; ++i) {
+    // Distinct sub-seed per event so kinds and points decorrelate.
+    s.events.push_back(FaultPlan::FromSeed(
+        Mix64(seed + 0x9e3779b97f4a7c15ull *
+                         static_cast<std::uint64_t>(i + 1))));
+  }
+  return s;
+}
+
+std::string FaultSchedule::Label() const {
+  if (events.empty()) return "none";
+  std::string out;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out += '+';
+    out += events[i].Label();
+  }
+  return out;
+}
+
 FaultPlan ResolveFaultPlan(FaultPlan plan, int num_procs) {
   if (!plan.armed() || plan.victim >= 0) return plan;
   DSM_CHECK_GE(num_procs, 2);
   const std::uint64_t r = Mix64(plan.seed ^ 0xdeadbeefcafef00dull);
-  plan.victim =
-      1 + static_cast<int>(r % static_cast<std::uint64_t>(num_procs - 1));
+  // Uniform over ALL processors — proc 0's coordinator roles fail over.
+  plan.victim = static_cast<int>(r % static_cast<std::uint64_t>(num_procs));
   return plan;
+}
+
+FaultSchedule ResolveFaultSchedule(FaultSchedule schedule, int num_procs) {
+  if (!schedule.armed()) return schedule;
+  DSM_CHECK_GE(num_procs, 2);
+  for (std::size_t i = 0; i < schedule.events.size(); ++i) {
+    FaultPlan& e = schedule.events[i];
+    if (e.victim >= 0) continue;
+    // Event 0 reproduces the single-plan derivation exactly; later events
+    // add an index salt so one seed yields independent victims.
+    const std::uint64_t r = Mix64(
+        e.seed ^ (0xdeadbeefcafef00dull +
+                  0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(i)));
+    e.victim = static_cast<int>(r % static_cast<std::uint64_t>(num_procs));
+  }
+  // Deterministic well-formedness fix-ups, so every seeded schedule is
+  // runnable: (1) no two events share (victim, kind, point) — bump the
+  // later event's point; (2) no barrier phase kills every processor —
+  // bump the offending event's barrier.  Each bump only increases trigger
+  // points, so the loop reaches a fixed point quickly.
+  for (int pass = 0;; ++pass) {
+    DSM_CHECK_LT(pass, 1024) << "re-home fix-ups failed to stabilize";
+    bool changed = false;
+    for (std::size_t i = 0; i < schedule.events.size(); ++i) {
+      FaultPlan& e = schedule.events[i];
+      for (std::size_t j = 0; j < i; ++j) {
+        const FaultPlan& f = schedule.events[j];
+        if (f.victim != e.victim || f.kind != e.kind) continue;
+        if (e.kind == FaultKind::kAtBarrier && f.barrier == e.barrier) {
+          ++e.barrier;
+          changed = true;
+        } else if (e.kind == FaultKind::kAfterRelease &&
+                   f.release == e.release) {
+          ++e.release;
+          changed = true;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < schedule.events.size(); ++i) {
+      FaultPlan& e = schedule.events[i];
+      if (e.kind != FaultKind::kAtBarrier) continue;
+      int dead = 0;
+      for (int v = 0; v < num_procs; ++v) {
+        for (const FaultPlan& f : schedule.events) {
+          if (f.kind == FaultKind::kAtBarrier && f.victim == v &&
+              f.barrier == e.barrier) {
+            ++dead;
+            break;
+          }
+        }
+      }
+      if (dead == num_procs) {
+        ++e.barrier;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return schedule;
 }
 
 // ---------------------------------------------------------------------------
 // FaultInjector
 // ---------------------------------------------------------------------------
 
-FaultInjector::FaultInjector(const FaultPlan& resolved) : plan_(resolved) {
-  DSM_CHECK(plan_.armed());
-  DSM_CHECK_GE(plan_.victim, 0);
+FaultInjector::FaultInjector(const FaultSchedule& resolved)
+    : schedule_(resolved),
+      fired_(new std::atomic<std::uint8_t>[resolved.events.size()]) {
+  DSM_CHECK(schedule_.armed());
+  for (std::size_t i = 0; i < schedule_.events.size(); ++i) {
+    DSM_CHECK_GE(schedule_.events[i].victim, 0);
+    fired_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
-bool FaultInjector::ShouldCrashAtBarrier(ProcId proc,
-                                         std::uint32_t sync_phase) {
-  if (proc != plan_.victim || plan_.kind != FaultKind::kAtBarrier) {
-    return false;
+int FaultInjector::MatchAtBarrier(ProcId proc,
+                                  std::uint32_t sync_phase) const {
+  for (std::size_t i = 0; i < schedule_.events.size(); ++i) {
+    const FaultPlan& e = schedule_.events[i];
+    if (e.kind != FaultKind::kAtBarrier || e.victim != proc) continue;
+    if (sync_phase != static_cast<std::uint32_t>(e.barrier)) continue;
+    if (fired_[i].load(std::memory_order_acquire) != 0) continue;
+    return static_cast<int>(i);
   }
-  if (fired_.load(std::memory_order_relaxed)) return false;
-  return sync_phase == static_cast<std::uint32_t>(plan_.barrier);
+  return -1;
 }
 
-bool FaultInjector::ShouldCrashAfterClose(ProcId proc, Seq seq) {
-  if (proc != plan_.victim || plan_.kind != FaultKind::kAfterRelease) {
-    return false;
+int FaultInjector::MatchAfterClose(ProcId proc, Seq seq) const {
+  for (std::size_t i = 0; i < schedule_.events.size(); ++i) {
+    const FaultPlan& e = schedule_.events[i];
+    if (e.kind != FaultKind::kAfterRelease || e.victim != proc) continue;
+    if (seq != static_cast<Seq>(e.release)) continue;
+    if (fired_[i].load(std::memory_order_acquire) != 0) continue;
+    return static_cast<int>(i);
   }
-  if (fired_.load(std::memory_order_relaxed)) return false;
-  return seq == static_cast<Seq>(plan_.release);
+  return -1;
+}
+
+bool FaultInjector::CrashesAtBarrier(ProcId proc,
+                                     std::uint32_t sync_phase) const {
+  for (const FaultPlan& e : schedule_.events) {
+    if (e.kind == FaultKind::kAtBarrier && e.victim == proc &&
+        static_cast<std::uint32_t>(e.barrier) == sync_phase) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::OnRecovered(int event_index, VirtualNanos modelled_ns,
+                                std::uint64_t wall_ns) {
+  DSM_CHECK_GE(event_index, 0);
+  DSM_CHECK_LT(static_cast<std::size_t>(event_index),
+               schedule_.events.size());
+  recovery_modelled_ns_.fetch_add(modelled_ns, std::memory_order_acq_rel);
+  recovery_wall_ns_.fetch_add(wall_ns, std::memory_order_acq_rel);
+  fired_[static_cast<std::size_t>(event_index)].store(
+      1, std::memory_order_release);
+  fired_count_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 // ---------------------------------------------------------------------------
 // RecoveryCoordinator
 // ---------------------------------------------------------------------------
 
-void RecoveryCoordinator::Recover(Node& node, const VectorClock& to) {
+void RecoveryCoordinator::Recover(Node& node, const VectorClock& to,
+                                  int event_index) {
   const auto wall_start = std::chrono::steady_clock::now();
   SharedState& shared = node.shared_;
   const CostModel& cost = shared.config.cost;
@@ -190,9 +358,8 @@ void RecoveryCoordinator::Recover(Node& node, const VectorClock& to) {
   // closed (both fire right after an interval reached the archive, or
   // inside a barrier with every interval closed).
   std::memset(node.data_, 0, shared.heap.heap_bytes());
+  node.table_.ResetForRecovery();
   for (UnitId u = 0; u < num_units; ++u) {
-    node.table_.DropTwin(u);
-    node.table_.set_state(u, UnitState::kReadValid);
     node.pending_[u].clear();
     node.flattened_[u].clear();
     node.elided_[u].clear();
@@ -205,7 +372,6 @@ void RecoveryCoordinator::Recover(Node& node, const VectorClock& to) {
     // registered, which only drops history no one can need.
     shared.sharers->Register(u, node.id_);
   }
-  node.table_.ClearDirtyList();
   if (!node.twin_dirty_.empty()) {
     std::fill(node.twin_dirty_.begin(), node.twin_dirty_.end(), 0);
   }
@@ -286,13 +452,33 @@ void RecoveryCoordinator::Recover(Node& node, const VectorClock& to) {
       install += cost.DiffApplyCost(d.payload_bytes());
     }
   } else {
-    // HLRC (DESIGN.md §9): every unit's master copy lives at a surviving
-    // home (HomeOf skips the victim under an armed plan) — recovery is
-    // one whole-unit fetch sweep, one combined exchange per home.
+    // HLRC (DESIGN.md §9): surviving homes serve whole-unit copies — one
+    // combined exchange per home.  Units homed at the victim itself have
+    // no surviving master: each is reconstructed from survivors' cached
+    // copies and re-homed via the per-unit override table.  The
+    // rebuilding home cannot know which survivors still cache a unit
+    // without asking — the sharer directory is appended concurrently by
+    // running peers, so consulting it here would make recovery cost
+    // depend on host timing — so it probes EVERY survivor (one combined
+    // header-sized probe exchange each) and pulls the full image from the
+    // lowest surviving rank: deterministic, and honestly pessimistic.
+    // The re-home batch is registered here and applied by the barrier
+    // coordinator inside the next barrier's idle window, so every node
+    // flips to the new map at the same deterministic point; lagging nodes
+    // then pay the timeout + retransmit for learning it
+    // (recovery_retransmits).
     std::vector<std::size_t> units_per_home(
         static_cast<std::size_t>(nprocs), 0);
+    std::size_t self_homed = 0;
+    std::vector<std::pair<UnitId, ProcId>> rehomes;
     for (UnitId u = 0; u < num_units; ++u) {
-      ++units_per_home[static_cast<std::size_t>(shared.HomeOf(u))];
+      const ProcId h = shared.EffectiveHome(u);
+      if (h != node.id_) {
+        ++units_per_home[static_cast<std::size_t>(h)];
+        continue;
+      }
+      ++self_homed;
+      rehomes.emplace_back(u, shared.RehomeTarget(u, node.id_));
     }
     for (ProcId h = 0; h < nprocs; ++h) {
       const std::size_t n = units_per_home[static_cast<std::size_t>(h)];
@@ -307,6 +493,26 @@ void RecoveryCoordinator::Recover(Node& node, const VectorClock& to) {
               cost.request_service_overhead +
               static_cast<VirtualNanos>(n) * cost.TwinCost(unit_bytes));
     }
+    if (self_homed > 0) {
+      const ProcId source = node.id_ == 0 ? 1 : 0;
+      for (ProcId p = 0; p < nprocs; ++p) {
+        if (p == node.id_) continue;
+        // One combined reconstruction exchange per survivor: the lowest
+        // surviving rank ships the full units, the rest ship 16-byte
+        // probe replies.
+        const std::size_t full = p == source ? self_homed : 0;
+        const std::size_t probed = self_homed - full;
+        const std::size_t req = 16 + 8 * self_homed;
+        const std::size_t resp = full * (16 + unit_bytes) + 16 * probed;
+        c.recovery_messages += 2;
+        c.recovery_data_bytes += full * unit_bytes;
+        slowest = std::max(
+            slowest,
+            shared.net.RoundTripTime(req, resp) +
+                cost.request_service_overhead +
+                static_cast<VirtualNanos>(full) * cost.TwinCost(unit_bytes));
+      }
+    }
     for (UnitId u = 0; u < num_units; ++u) {
       const std::span<std::byte> dst = node.UnitSpan(u);
       std::lock_guard lock(shared.home_mutexes[u]);
@@ -314,6 +520,10 @@ void RecoveryCoordinator::Recover(Node& node, const VectorClock& to) {
                   shared.home_image.get() + shared.heap.UnitBase(u),
                   unit_bytes);
       install += cost.TwinCost(unit_bytes);
+    }
+    if (!rehomes.empty()) {
+      std::lock_guard lock(shared.rehome_mutex);
+      for (const auto& r : rehomes) shared.pending_rehomes.push_back(r);
     }
   }
   c.recovery_units += num_units;
@@ -338,7 +548,7 @@ void RecoveryCoordinator::Recover(Node& node, const VectorClock& to) {
 
   const auto wall_end = std::chrono::steady_clock::now();
   shared.fault->OnRecovered(
-      modelled,
+      event_index, modelled,
       static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(wall_end -
                                                                wall_start)

@@ -1,28 +1,44 @@
 // Deterministic fault injection and crash recovery (DESIGN.md §9).
 //
-// A seeded FaultPlan (core/config.h) names one victim processor and one
-// modelled crash point: its n-th global barrier, or immediately after its
-// m-th interval close.  The FaultInjector fires the plan exactly once, at
-// that deterministic point, on the victim's own thread; the
-// RecoveryCoordinator then rebuilds the victim's lost volatile state —
-// private image, page-table protections and twins, vector clock, pending
-// write-notice view — from the run's stable substrate:
+// A seeded FaultSchedule (core/config.h) is an ordered list of crash
+// events; each names one victim processor — ANY processor, proc 0
+// included — and one modelled crash point: the victim's n-th global
+// barrier, or immediately after its m-th interval close.  Trigger points
+// are absolute victim-local counts, so every event fires at a
+// deterministic point on its victim's own thread regardless of host
+// scheduling; a repeat victim fires again only after its earlier
+// recovery, which is automatic because its trigger points are served in
+// program order.  The RecoveryCoordinator rebuilds each crashed node's
+// lost volatile state — private image, page-table protections and twins,
+// vector clock, pending write-notice view — from the run's stable
+// substrate:
 //
 //   * LRC:  canonical base images (the archive GC's barrier-epoch
 //           checkpoints, CanonicalStore::ReadCheckpoint) plus the archived
 //           interval records not yet flattened into them.  Archives model
 //           write-ahead logs on stable storage: a record is durable the
 //           moment the interval closes, so the victim's own log survives
-//           the crash.  With an armed plan the GC runs in
+//           the crash.  With an armed schedule the GC runs in
 //           *checkpoint-complete* mode (every dominated record reaches the
 //           base, bases are never released), making base + surviving log
 //           a complete history — the honest single-source-of-truth shape
 //           the failure-free protocol does not need.
-//   * HLRC: whole-unit copies from the home images.  With an armed plan
-//           homes are assigned round-robin over the survivors from the
-//           start (HomeOf skips the victim), modelling pre-crash home
-//           migration away from the failing node, so the home image
-//           survives in full.
+//   * HLRC: whole-unit copies from the home images.  A victim that was
+//           itself a home reconstructs each of its units from the
+//           surviving sharers' cached copies (full unit from the
+//           designated freshest sharer, header-sized live-twin probes to
+//           the rest) and re-homes the unit via the per-unit override
+//           table (SharedState::EffectiveHome); surviving nodes learn the
+//           new map lazily — their first home contact after the re-home
+//           batch pays a modelled timeout + retransmit
+//           (CommBreakdown::recovery_retransmits).
+//
+// When proc 0 is the victim of an at-barrier event, the coordinator roles
+// it normally holds — serial-GC execution, checkpoint watermark publish,
+// the HLRC watermark prune, and the barrier-manager cost asymmetry —
+// migrate to the lowest surviving rank for exactly that barrier
+// (SharedState::CoordinatorFor) and migrate back once the victim has
+// rebuilt.
 //
 // Recovery is *transparent*: the victim's thread continues from the crash
 // point with rebuilt state, so the sync services never lose a live
@@ -37,6 +53,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 
 #include "core/config.h"
 #include "core/vector_clock.h"
@@ -47,50 +64,74 @@ namespace dsm {
 class Node;
 struct SharedState;
 
-// Resolves a seeded plan: a negative victim is derived from plan.seed,
-// uniform over 1..num_procs-1 (never proc 0, the barrier manager and
-// serial-GC host).  Identity for plans with an explicit victim.
+// Resolves one seeded event: a negative victim is derived from plan.seed,
+// uniform over ALL processors (proc 0 included — its coordinator roles
+// fail over).  Identity for plans with an explicit victim.
 FaultPlan ResolveFaultPlan(FaultPlan plan, int num_procs);
 
-// Owns one run's resolved FaultPlan and fires it exactly once.  All
-// trigger predicates are pure functions of (plan, caller, protocol point);
-// the fired flag is only ever read or written by the victim's thread
-// (every predicate checks the caller id first).
+// Resolves a whole schedule: per-event seeded victims first, then
+// deterministic fix-ups that keep the schedule well-formed — two events
+// with the same victim, kind and trigger point get strictly increasing
+// points (a victim can only die once per point), and a barrier phase that
+// would kill every processor at once bumps its later events forward until
+// a survivor exists to run the coordinator roles.
+FaultSchedule ResolveFaultSchedule(FaultSchedule schedule, int num_procs);
+
+// Owns one run's resolved FaultSchedule and fires each event exactly
+// once, in victim-local program order.  Trigger predicates are pure
+// functions of (schedule, caller, protocol point) plus the per-event
+// fired flags; an event's flag is only ever written by its own victim's
+// thread, and all cross-thread reads (a later event on another victim,
+// CollectStats after join) go through acquire/release atomics, so
+// re-arming after a recovery is race-free under TSan semantics.
 class FaultInjector {
  public:
-  // `resolved` must have victim >= 0 (SharedState resolves seeded plans).
-  explicit FaultInjector(const FaultPlan& resolved);
+  // `resolved` must have every victim >= 0 (SharedState resolves seeded
+  // schedules before constructing the injector).
+  explicit FaultInjector(const FaultSchedule& resolved);
 
-  const FaultPlan& plan() const { return plan_; }
+  const FaultSchedule& schedule() const { return schedule_; }
 
-  // Called by every node inside the barrier of phase `sync_phase` (after
-  // the idle-window GC, before notices are collected): true exactly once,
-  // for the victim of a kAtBarrier plan at its planned barrier.
-  bool ShouldCrashAtBarrier(ProcId proc, std::uint32_t sync_phase);
+  // Trigger predicates, called on `proc`'s own thread: the index of the
+  // unfired event that fires at this point, or -1.  MatchAtBarrier is
+  // called by every node inside the barrier of phase `sync_phase` (after
+  // the idle-window GC, before notices are collected); MatchAfterClose by
+  // the closing node right after its interval record with sequence number
+  // `seq` was appended to its archive.
+  int MatchAtBarrier(ProcId proc, std::uint32_t sync_phase) const;
+  int MatchAfterClose(ProcId proc, Seq seq) const;
 
-  // Called by the closing node right after its interval record with
-  // sequence number `seq` was appended to its archive: true exactly once,
-  // for the victim of a kAfterRelease plan at its planned close.
-  bool ShouldCrashAfterClose(ProcId proc, Seq seq);
+  // Static schedule query (independent of fired state): does an
+  // at-barrier event kill `proc` at `sync_phase`?  Drives
+  // SharedState::CoordinatorFor — every node computes the same answer for
+  // the same phase, with no communication.
+  bool CrashesAtBarrier(ProcId proc, std::uint32_t sync_phase) const;
 
-  bool fired() const { return fired_.load(std::memory_order_relaxed); }
+  // Recovery telemetry, recorded by the RecoveryCoordinator once per
+  // fired event.  Totals accumulate across the schedule.
+  void OnRecovered(int event_index, VirtualNanos modelled_ns,
+                   std::uint64_t wall_ns);
 
-  // Recovery telemetry, recorded by the RecoveryCoordinator.
-  void OnRecovered(VirtualNanos modelled_ns, std::uint64_t wall_ns) {
-    recovery_modelled_ns_ = modelled_ns;
-    recovery_wall_ns_ = wall_ns;
-    fired_.store(true, std::memory_order_relaxed);
+  bool any_fired() const { return fired_count() > 0; }
+  int fired_count() const {
+    return fired_count_.load(std::memory_order_acquire);
   }
-  VirtualNanos recovery_modelled_ns() const { return recovery_modelled_ns_; }
-  std::uint64_t recovery_wall_ns() const { return recovery_wall_ns_; }
+  VirtualNanos recovery_modelled_ns() const {
+    return recovery_modelled_ns_.load(std::memory_order_acquire);
+  }
+  std::uint64_t recovery_wall_ns() const {
+    return recovery_wall_ns_.load(std::memory_order_acquire);
+  }
 
  private:
-  const FaultPlan plan_;
-  // Victim-thread-only during the run; atomic so CollectStats may read it
-  // after the worker threads joined without formal UB.
-  std::atomic<bool> fired_{false};
-  VirtualNanos recovery_modelled_ns_ = 0;
-  std::uint64_t recovery_wall_ns_ = 0;
+  const FaultSchedule schedule_;
+  // One flag per event.  Written (release) only by the event's victim
+  // thread in OnRecovered; predicates load acquire so a second event on a
+  // re-armed victim observes the completed earlier recovery.
+  std::unique_ptr<std::atomic<std::uint8_t>[]> fired_;
+  std::atomic<int> fired_count_{0};
+  std::atomic<VirtualNanos> recovery_modelled_ns_{0};
+  std::atomic<std::uint64_t> recovery_wall_ns_{0};
 };
 
 // Rebuilds a crashed node.  Stateless — a friend of Node that performs the
@@ -99,10 +140,11 @@ class FaultInjector {
 class RecoveryCoordinator {
  public:
   // Rebuild `victim` to the consistent cut `to` (dense or frozen): the
-  // merged global clock of the crash barrier for kAtBarrier plans, the
+  // merged global clock of the crash barrier for at-barrier events, the
   // frozen close-time clock of the victim's last durable interval for
-  // kAfterRelease plans.  Must run on the victim's own thread.
-  static void Recover(Node& victim, const VectorClock& to);
+  // after-release events.  `event_index` is the schedule slot returned by
+  // the matching trigger predicate.  Must run on the victim's own thread.
+  static void Recover(Node& victim, const VectorClock& to, int event_index);
 };
 
 }  // namespace dsm

@@ -68,15 +68,17 @@ SharedState::SharedState(const RuntimeConfig& cfg)
       barrier(std::make_unique<BarrierService>(cfg.num_procs)),
       locks(std::make_unique<LockService>(cfg.num_locks, cfg.num_procs)) {
   if (config.fault.armed()) {
-    // Resolve the plan (seed-derived victim) once, store it back so
-    // introspection sees the concrete victim, and arm the injector.
-    config.fault = ResolveFaultPlan(config.fault, config.num_procs);
+    // Resolve the schedule (seed-derived victims, well-formedness
+    // fix-ups) once, store it back so introspection sees the concrete
+    // events, re-validate the concrete form, and arm the injector.
+    config.fault = ResolveFaultSchedule(config.fault, config.num_procs);
+    config.Validate();
     fault = std::make_unique<FaultInjector>(config.fault);
     checkpoint_vc = VectorClock(config.num_procs);
     if (config.backend == BackendKind::kHlrc) {
-      // Re-home away from the victim from the start (DESIGN.md §9): the
-      // home image then survives the crash in full.
-      hlrc_home_skip = config.fault.victim;
+      // Any processor may be a crashing home: arm the per-unit re-home
+      // override table (DESIGN.md §9).
+      home_override.assign(heap.num_units(), -1);
     }
   }
   if (cfg.backend == BackendKind::kReference) {
@@ -120,6 +122,30 @@ SharedState::SharedState(const RuntimeConfig& cfg)
 }
 
 SharedState::~SharedState() = default;
+
+void SharedState::ApplyPendingRehomes() {
+  std::lock_guard lock(rehome_mutex);
+  if (pending_rehomes.empty()) return;
+  DSM_CHECK(!home_override.empty());
+  for (const auto& [unit, new_home] : pending_rehomes) {
+    home_override[static_cast<std::size_t>(unit)] = new_home;
+  }
+  pending_rehomes.clear();
+  // One epoch per applied batch: every node whose private epoch lags pays
+  // the timeout + retransmit for learning the new map at its next home
+  // contact.
+  ++rehome_epoch;
+}
+
+ProcId SharedState::CoordinatorFor(std::uint32_t sync_phase) const {
+  if (fault == nullptr) return 0;
+  for (ProcId r = 0; r < config.num_procs; ++r) {
+    if (!fault->CrashesAtBarrier(r, sync_phase)) return r;
+  }
+  // Validate() and ResolveFaultSchedule guarantee a survivor per phase.
+  DSM_CHECK(false) << "no surviving coordinator at barrier " << sync_phase;
+  return 0;
+}
 
 Node::Node(ProcId id, SharedState& shared)
     : id_(id),
@@ -685,12 +711,14 @@ void Node::CloseInterval(bool lock_release) {
   rec.vc = vc_;
   table_.ClearDirtyList();
   const IntervalRecord* stored = shared_.archives[id_]->Append(std::move(rec));
-  if (shared_.fault != nullptr &&
-      shared_.fault->ShouldCrashAfterClose(id_, stored->seq)) {
-    // Crash point: the interval just reached the (stable) archive, all
-    // twins are dropped, nothing is half-written.  Rebuild in place and
-    // continue transparently (DESIGN.md §9).
-    RecoveryCoordinator::Recover(*this, stored->vc);
+  if (shared_.fault != nullptr) {
+    const int ev = shared_.fault->MatchAfterClose(id_, stored->seq);
+    if (ev >= 0) {
+      // Crash point: the interval just reached the (stable) archive, all
+      // twins are dropped, nothing is half-written.  Rebuild in place and
+      // continue transparently (DESIGN.md §9).
+      RecoveryCoordinator::Recover(*this, stored->vc, ev);
+    }
   }
 }
 
@@ -736,7 +764,7 @@ void Node::HlrcFlushInterval(bool lock_release) {
       continue;
     }
     const Diff diff = Diff::Create(table_.twin(unit), UnitSpan(unit));
-    const ProcId home = shared_.HomeOf(unit);
+    const ProcId home = shared_.EffectiveHome(unit);
     // An empty diff means the interval changed no bytes: the twin scan
     // above is still paid (eager diffing discovers the emptiness), but
     // there is nothing for the home to absorb and the write notice
@@ -774,14 +802,22 @@ void Node::HlrcFlushInterval(bool lock_release) {
   // One flush exchange per remote home touched; homes apply in parallel,
   // the releaser advances to the slowest acknowledgement.
   VirtualNanos slowest = 0;
+  bool learned = false;
   for (ProcId h = 0; h < num_procs(); ++h) {
     if (hlrc_flush_bytes_[h] == 0) continue;
     net_stats_.Record(MessageKind::kHomeFlush, hlrc_flush_bytes_[h]);
     net_stats_.Record(MessageKind::kHomeFlushAck, 16);
     comm_stats_.counters().home_flush_messages += 2;
-    const VirtualNanos t =
+    VirtualNanos t =
         shared_.net.RoundTripTime(hlrc_flush_bytes_[h], 16) +
         cost.request_service_overhead + hlrc_flush_server_[h];
+    if (!learned) {
+      // First home contact of this release: a stale home map (re-home
+      // batches applied since this node's last contact) times the
+      // exchange out against the dead home and re-sends it.
+      t += HlrcChargeRehomeLearning(hlrc_flush_bytes_[h]);
+      learned = true;
+    }
     slowest = std::max(slowest, t);
     hlrc_flush_bytes_[h] = 0;
     hlrc_flush_server_[h] = 0;
@@ -789,11 +825,13 @@ void Node::HlrcFlushInterval(bool lock_release) {
   clock_.Advance(slowest);
 
   const IntervalRecord* stored = shared_.archives[id_]->Append(std::move(rec));
-  if (shared_.fault != nullptr &&
-      shared_.fault->ShouldCrashAfterClose(id_, stored->seq)) {
-    // Same crash point as the LRC path: record archived, homes already
-    // absorbed this interval's diffs, twins dropped.
-    RecoveryCoordinator::Recover(*this, stored->vc);
+  if (shared_.fault != nullptr) {
+    const int ev = shared_.fault->MatchAfterClose(id_, stored->seq);
+    if (ev >= 0) {
+      // Same crash point as the LRC path: record archived, homes already
+      // absorbed this interval's diffs, twins dropped.
+      RecoveryCoordinator::Recover(*this, stored->vc, ev);
+    }
   }
 }
 
@@ -812,7 +850,7 @@ void Node::HlrcFetchUnits(const std::vector<UnitId>& units) {
 
   for (auto& v : fetch_by_home_) v.clear();
   for (UnitId unit : units) {
-    fetch_by_home_[static_cast<std::size_t>(shared_.HomeOf(unit))]
+    fetch_by_home_[static_cast<std::size_t>(shared_.EffectiveHome(unit))]
         .push_back(unit);
   }
 
@@ -842,13 +880,17 @@ void Node::HlrcFetchUnits(const std::vector<UnitId>& units) {
           list.size() * unit_bytes_;
       // Home-side cost: request handling plus one unit copy into the
       // reply per unit served.
-      const VirtualNanos server =
+      VirtualNanos t =
+          shared_.net.RoundTripTime(request_bytes, response_bytes) +
           cost.request_service_overhead +
           static_cast<VirtualNanos>(list.size()) *
               cost.TwinCost(unit_bytes_);
-      slowest = std::max(
-          slowest,
-          shared_.net.RoundTripTime(request_bytes, response_bytes) + server);
+      if (num_homes == 1) {
+        // First remote contact of this fault: pay for learning any
+        // re-home batches applied since this node's last home exchange.
+        t += HlrcChargeRehomeLearning(request_bytes);
+      }
+      slowest = std::max(slowest, t);
     }
     for (UnitId unit : list) {
       const bool twinned = table_.HasTwin(unit);
@@ -919,6 +961,26 @@ void Node::HlrcPruneNotices(const VectorClock& min_seen) {
   for (ProcId p = 0; p < num_procs(); ++p) {
     shared_.archives[p]->PruneThrough(min_seen[p]);
   }
+}
+
+// See protocol.h: lazy learning of crash-driven re-home batches.  The
+// epoch is written by the barrier coordinator inside the idle window and
+// read here strictly after the closing rendezvous of that barrier, so the
+// plain load is ordered; the charge itself is proc-local and
+// deterministic (victim-local trigger points + barrier-quantized batch
+// application).
+VirtualNanos Node::HlrcChargeRehomeLearning(std::size_t request_bytes) {
+  if (shared_.fault == nullptr) return 0;
+  const std::uint64_t epoch = shared_.rehome_epoch;
+  if (rehome_epoch_seen_ == epoch) return 0;
+  const std::uint64_t missed = epoch - rehome_epoch_seen_;
+  rehome_epoch_seen_ = epoch;
+  CommBreakdown& c = comm_stats_.counters();
+  c.recovery_retransmits += missed;
+  c.recovery_retransmit_bytes += missed * request_bytes;
+  return static_cast<VirtualNanos>(missed) *
+         (shared_.net.RoundTripTime(request_bytes, 16) +
+          shared_.config.cost.request_service_overhead);
 }
 
 // Flatten phase (pass 1 of DESIGN.md §6), striped: this node converts the
@@ -1618,8 +1680,16 @@ void Node::Barrier() {
   CloseInterval();
   const std::size_t arrival_bytes = OutgoingNoticeBytes();
 
+  // Coordinator for this barrier: proc 0 unless an at-barrier event kills
+  // it at this phase — then the lowest surviving rank assumes the
+  // coordinator roles for exactly this barrier (DESIGN.md §9).  Every
+  // node derives the same answer from the armed schedule and its own
+  // sync_phase_; the barrier service cross-checks the agreement.
+  const ProcId coord = shared_.CoordinatorFor(sync_phase_);
+
   BarrierService::Result res = shared_.barrier->Arrive(
-      id_, vc_, clock_.now(), arrival_bytes, hlrc_ ? &notices_seen_ : nullptr);
+      id_, vc_, clock_.now(), arrival_bytes, hlrc_ ? &notices_seen_ : nullptr,
+      coord);
 
   // Extended barrier window: every processor is now inside the barrier,
   // so no diff request is in flight anywhere.  Drain the request flags
@@ -1679,7 +1749,11 @@ void Node::Barrier() {
     // Serial-vs-striped switch, hardware-concurrency aware (see
     // GcSerialPassLimit): identical on every node, so all pick one mode.
     if (gc_ran && dominated <= shared_.gc_serial_pass_limit) {
-      if (id_ == 0) {
+      if (id_ == res.coordinator) {
+        // Serial-GC role: normally proc 0; migrated to the lowest
+        // surviving rank for a barrier whose schedule kills proc 0 (the
+        // about-to-crash victim's pass would die with it) and back once
+        // the victim has rebuilt.
         GcFlattenStripe(gc_through, 0, 1);
         GcApplyStripe(0, 1);
         // Checkpoint watermark (DESIGN.md §9): everything <= gc_through is
@@ -1692,39 +1766,49 @@ void Node::Barrier() {
       GcFlattenStripe(gc_through, id_, num_procs());
       shared_.barrier->Rendezvous();
       GcApplyStripe(id_, num_procs());
-      if (id_ == 0) {
-        // Striped watermark: proc 0's apply may finish before its peers',
-        // but the only reader — a recovering victim — reads after the
-        // closing rendezvous, which orders it after every stripe's apply.
+      if (id_ == res.coordinator) {
+        // Striped watermark: the coordinator's apply may finish before its
+        // peers', but the only reader — a recovering victim — reads after
+        // the closing rendezvous, which orders it after every stripe's
+        // apply.
         if (shared_.fault != nullptr) shared_.checkpoint_vc = gc_through;
         ++shared_.gc_passes;
       }
     }
   }
-  // HLRC rides the same idle window for its notice-log watermark prune:
-  // every peer is parked between Arrive and Rendezvous, so their
-  // notices_seen_ clocks are frozen and nobody can be collecting from
-  // the archives being pruned.
-  if (hlrc_ && id_ == 0) HlrcPruneNotices(res.min_seen);
+  // HLRC rides the same idle window for its notice-log watermark prune
+  // (and, under an armed schedule, for flipping crash-driven re-home
+  // batches into the shared override table at a point every node passes
+  // together): every peer is parked between Arrive and Rendezvous, so
+  // their notices_seen_ clocks are frozen and nobody can be flushing,
+  // fetching, or collecting while the coordinator works.
+  if (hlrc_ && id_ == res.coordinator) {
+    if (shared_.fault != nullptr) shared_.ApplyPendingRehomes();
+    HlrcPruneNotices(res.min_seen);
+  }
   shared_.barrier->Rendezvous();
   // History maintenance after the rendezvous: ordered after every
   // gc_through copy above and before any node's next barrier (its next
-  // Arrive cannot complete before proc 0's, which follows this push).
-  if (id_ == 0 && gc_interval > 0 && !hlrc_) {
+  // Arrive cannot complete before the coordinator's, which follows this
+  // push).
+  if (id_ == res.coordinator && gc_interval > 0 && !hlrc_) {
     shared_.gc_history.push_back(res.global_vc);
     while (shared_.gc_history.size() > gc_lag) {
       shared_.gc_history.pop_front();
     }
   }
   if (gc_ran) GcPruneOwn(gc_through);
-  if (shared_.fault != nullptr &&
-      shared_.fault->ShouldCrashAtBarrier(id_, sync_phase_)) {
-    // Crash point "at barrier n": the victim dies as barrier n completes
-    // (its interval is archived, any GC pass of this window has fully
-    // applied and pruned) and rebuilds to the barrier's global clock.  The
-    // CollectNotices below then finds nothing new — recovery already
-    // installed everything the global cut covers.
-    RecoveryCoordinator::Recover(*this, res.global_vc);
+  if (shared_.fault != nullptr) {
+    const int ev = shared_.fault->MatchAtBarrier(id_, sync_phase_);
+    if (ev >= 0) {
+      // Crash point "at barrier n": the victim dies as barrier n completes
+      // (its interval is archived, any GC pass of this window — run by the
+      // failed-over coordinator if the victim is proc 0 — has fully
+      // applied and pruned) and rebuilds to the barrier's global clock.
+      // The CollectNotices below then finds nothing new — recovery already
+      // installed everything the global cut covers.
+      RecoveryCoordinator::Recover(*this, res.global_vc, ev);
+    }
   }
   ++sync_phase_;
   // A completed barrier starts a fresh phase: lock-chain sub-phases are
@@ -1744,7 +1828,8 @@ void Node::Barrier() {
   comm_stats_.counters().notice_clock_bytes_dense +=
       records.size() * VectorClock::DenseEncodedBytes(num_procs());
 
-  // Modelled barrier cost (centralized manager at proc 0): all clients ship
+  // Modelled barrier cost (centralized manager, normally proc 0 — the
+  // coordinator when proc 0 crashes at this barrier): all clients ship
   // arrival messages; the manager processes every arrival, then ships
   // release messages carrying the write notices each client is missing.
   const VirtualNanos base =
@@ -1752,7 +1837,7 @@ void Node::Barrier() {
       cost.barrier_fixed +
       cost.barrier_per_arrival * (num_procs() - 1);
   VirtualNanos release_time = base;
-  if (id_ != 0) {
+  if (id_ != res.coordinator) {
     release_time += shared_.net.config().ns_per_byte *
                     static_cast<VirtualNanos>(incoming_bytes);
     net_stats_.Record(MessageKind::kBarrierArrival, arrival_bytes);

@@ -119,25 +119,65 @@ struct SharedState {
   // Maintained only under an armed fault plan (dense, all-zero
   // otherwise), so no-fault runs take no new work.
   VectorClock checkpoint_vc;
-  // HLRC re-homing under an armed plan: homes round-robin over the
-  // survivors from the start (HomeOf never names the victim), modelling
-  // pre-crash home migration away from the failing node — the home image
-  // then survives the crash in full.  -1 = no skip (no armed HLRC plan).
-  ProcId hlrc_home_skip = -1;
+  // HLRC home-crash re-homing (DESIGN.md §9): per-unit home override,
+  // sized (all -1) when an HLRC schedule is armed, empty otherwise.  A
+  // crashed home's units are reconstructed by the victim's recovery and
+  // re-homed here; the batch is registered in `pending_rehomes` by the
+  // victim and applied by the barrier coordinator inside the next
+  // barrier's idle window (ApplyPendingRehomes), so every node flips to
+  // the new map at the same deterministic point.  `rehome_epoch` counts
+  // applied batches: a node whose private epoch lags pays the modelled
+  // timeout + retransmit for learning the new map at its next home
+  // contact (CommBreakdown::recovery_retransmits).
+  std::vector<ProcId> home_override;
+  std::mutex rehome_mutex;
+  std::vector<std::pair<UnitId, ProcId>> pending_rehomes;
+  std::uint64_t rehome_epoch = 0;
+  // Applies pending_rehomes into home_override.  Called only by the
+  // barrier coordinator between Arrive and Rendezvous — every other node
+  // is inside the same barrier, so the writes happen-before every
+  // post-barrier EffectiveHome read via the closing rendezvous.
+  void ApplyPendingRehomes();
 
   // Home node of `unit` under kHlrc: round-robin over processors in
-  // blocks of config.hlrc_home_block_units units.
+  // blocks of config.hlrc_home_block_units units.  This is the static
+  // base map; EffectiveHome folds in crash-driven overrides.
   ProcId HomeOf(UnitId unit) const {
     const auto block =
         static_cast<UnitId>(std::max(1, config.hlrc_home_block_units));
-    if (hlrc_home_skip >= 0) {
-      ProcId h = static_cast<ProcId>(
-          (unit / block) % static_cast<UnitId>(config.num_procs - 1));
-      return h >= hlrc_home_skip ? h + 1 : h;
-    }
     return static_cast<ProcId>((unit / block) %
                                static_cast<UnitId>(config.num_procs));
   }
+
+  // HomeOf plus the per-unit crash override table.
+  ProcId EffectiveHome(UnitId unit) const {
+    if (!home_override.empty()) {
+      const ProcId o = home_override[static_cast<std::size_t>(unit)];
+      if (o >= 0) return o;
+    }
+    return HomeOf(unit);
+  }
+
+  // New home for `unit` after home `dead` crashed: the HomeOf block map
+  // re-run over the surviving ranks (the dead rank excised, ranks above
+  // shifted down) — deterministic, communication-free, and as balanced as
+  // the primary map.
+  ProcId RehomeTarget(UnitId unit, ProcId dead) const {
+    const auto block =
+        static_cast<UnitId>(std::max(1, config.hlrc_home_block_units));
+    const ProcId h = static_cast<ProcId>(
+        (unit / block) % static_cast<UnitId>(config.num_procs - 1));
+    return h >= dead ? h + 1 : h;
+  }
+
+  // Barrier coordinator for `sync_phase`: proc 0 unless an at-barrier
+  // event kills it at that phase, in which case the lowest surviving rank
+  // assumes the coordinator roles (serial GC, checkpoint watermark, HLRC
+  // watermark prune, re-home apply, barrier-manager cost asymmetry) for
+  // exactly that barrier.  A pure function of the armed schedule and the
+  // phase, so every node computes the same answer with no communication;
+  // always 0 when no schedule is armed.
+  ProcId CoordinatorFor(std::uint32_t sync_phase) const;
   // Peer access for the lazy-diffing cost flags; filled in by Runtime
   // after node construction.
   std::vector<Node*> nodes;
@@ -297,6 +337,15 @@ class Node {
   // all-pairs scan over the parked nodes (DESIGN.md §8).
   void HlrcPruneNotices(const VectorClock& min_seen);
 
+  // HLRC home-crash re-homing (DESIGN.md §9): if re-home batches were
+  // applied since this node's last home contact, its next exchange is
+  // addressed from the stale map, times out against the dead home, and is
+  // re-sent — returns the modelled timeout + retransmit latency (one per
+  // missed batch, request of `request_bytes`) and bumps the
+  // recovery_retransmit counters.  Zero (and counter-free) when no
+  // schedule is armed or the node is current.
+  VirtualNanos HlrcChargeRehomeLearning(std::size_t request_bytes);
+
   // Mark a clean unit dirty (twin + unprotect).  `cheap` re-twins carry no
   // modelled cost (lazy-diffing regime, see WriteFault).
   void TwinUnit(UnitId unit, bool cheap = false);
@@ -389,6 +438,11 @@ class Node {
   // Clean-twin flags (sized num_units only when twin_track_): 0 while the
   // unit's bytes still equal its twin, 1 once a write changed anything.
   std::vector<std::uint8_t> twin_dirty_;
+  // Last re-home batch epoch this node has learned
+  // (SharedState::rehome_epoch).  A lagging node's next remote home
+  // contact pays the modelled timeout + retransmit per missed batch and
+  // catches up — the lazy-learning model for HLRC home-crash re-homing.
+  std::uint64_t rehome_epoch_seen_ = 0;
   // Completed barrier phases (identical on every node at any given phase).
   std::uint32_t sync_phase_ = 0;
   // Lock-chain sub-phase: the service-wide position of this node's most

@@ -13,8 +13,9 @@ std::string RunStats::ToString() const {
   std::ostringstream out;
   out << "exec_time: " << exec_seconds() << " s\n";
   if (comm.recoveries > 0) {
-    out << "recovery_time: modelled " << recovery_modelled_ns
-        << " ns, host " << recovery_wall_ns << " ns\n";
+    out << "recovery: events " << recovery_events << ", modelled "
+        << recovery_modelled_ns << " ns, host " << recovery_wall_ns
+        << " ns\n";
   }
   out << comm.ToString();
   out << "network:\n" << net.ToString();
@@ -81,7 +82,8 @@ RunStats Runtime::CollectStats() const {
   stats.mem.chains_shared = t.chains_shared.load(std::memory_order_relaxed);
   stats.mem.records_elided =
       t.records_elided.load(std::memory_order_relaxed);
-  if (shared_.fault != nullptr && shared_.fault->fired()) {
+  if (shared_.fault != nullptr && shared_.fault->any_fired()) {
+    stats.recovery_events = shared_.fault->fired_count();
     stats.recovery_modelled_ns = shared_.fault->recovery_modelled_ns();
     stats.recovery_wall_ns = shared_.fault->recovery_wall_ns();
   }

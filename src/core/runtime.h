@@ -130,9 +130,11 @@ struct RunStats {
   CommBreakdown comm;
   NetStats net;
   MemoryFootprint mem;
-  // Crash recovery (DESIGN.md §9): modelled latency the rebuild charged to
-  // the victim's clock, and host wall-clock the rebuild took.  Zero — and
-  // absent from ToString — unless a fault plan fired.
+  // Crash recovery (DESIGN.md §9): how many schedule events fired, the
+  // modelled latency the rebuilds charged to the victims' clocks, and the
+  // host wall-clock they took.  Zero — and absent from ToString — unless
+  // at least one event of the fault schedule fired.
+  int recovery_events = 0;
   VirtualNanos recovery_modelled_ns = 0;
   std::uint64_t recovery_wall_ns = 0;
 

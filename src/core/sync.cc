@@ -28,8 +28,17 @@ BarrierService::Result BarrierService::Arrive(ProcId proc,
                                               const VectorClock& vc,
                                               VirtualNanos arrival_time,
                                               std::size_t arrival_bytes,
-                                              const VectorClock* seen) {
+                                              const VectorClock* seen,
+                                              ProcId coordinator) {
   std::unique_lock lock(mutex_);
+  if (pending_coordinator_ == -1) {
+    pending_coordinator_ = coordinator;
+  } else {
+    // Coordinator failover is derived per-node from the static fault
+    // schedule; any disagreement is a protocol bug, not a race.
+    DSM_CHECK_EQ(pending_coordinator_, coordinator)
+        << "barrier arrivers disagree on the coordinator rank";
+  }
   pending_vc_.Merge(vc);
   if (seen != nullptr) {
     // Fold the arriver's consumed-notice clock into the generation floor,
@@ -45,7 +54,8 @@ BarrierService::Result BarrierService::Arrive(ProcId proc,
 
   const std::uint64_t my_generation = generation_;
   if (arrived_ == num_procs_) {
-    current_ = Result{pending_vc_, max_arrival_, max_bytes_, min_seen_};
+    current_ = Result{pending_vc_, max_arrival_, max_bytes_, min_seen_,
+                      pending_coordinator_};
     // Reset for the next generation.  pending_vc_ is part of the
     // per-generation state: per-proc clocks happen to be monotone today,
     // which would mask a missing reset, but a checkpoint/restore or
@@ -55,6 +65,7 @@ BarrierService::Result BarrierService::Arrive(ProcId proc,
     max_bytes_ = 0;
     pending_vc_ = VectorClock(num_procs_);
     min_seen_ = MaxClock(num_procs_);
+    pending_coordinator_ = -1;
     ++generation_;
     cv_.notify_all();
     return current_;

@@ -34,6 +34,12 @@ class BarrierService {
     // backend prunes each notice log to this floor in O(num_procs)
     // instead of rescanning every node's consumption vector.
     VectorClock min_seen;
+    // Agreed barrier coordinator for this generation (DESIGN.md §9).
+    // Proc 0 on every failure-free barrier; the lowest surviving rank on
+    // a barrier whose fault schedule kills proc 0.  Every arriver derives
+    // it locally from the armed schedule and passes it in; the service
+    // cross-checks that all arrivals name the same rank.
+    ProcId coordinator = 0;
   };
 
   // Blocks until all processors arrive.  `arrival_time` is the caller's
@@ -41,10 +47,13 @@ class BarrierService {
   // it ships to the manager.  The last arriver computes the result.
   // The modelled cost formula lives in the caller (Node::Barrier), which
   // combines this result with the network/cost models.  `seen`, if
-  // non-null, is folded into Result::min_seen.
+  // non-null, is folded into Result::min_seen.  `coordinator` is the
+  // caller's view of this barrier's coordinator; all arrivers of one
+  // generation must agree (checked), and the agreed value is echoed in
+  // Result::coordinator.
   Result Arrive(ProcId proc, const VectorClock& vc, VirtualNanos arrival_time,
                 std::size_t arrival_bytes,
-                const VectorClock* seen = nullptr);
+                const VectorClock* seen = nullptr, ProcId coordinator = 0);
 
   // Pure host-level rendezvous with no clock, vc, or statistics effects.
   // The protocol calls it right after Arrive to extend the barrier into a
@@ -76,6 +85,7 @@ class BarrierService {
   VectorClock min_seen_;  // accumulator for Result::min_seen
   VirtualNanos max_arrival_ = 0;
   std::size_t max_bytes_ = 0;
+  ProcId pending_coordinator_ = -1;  // first arriver's view; -1 = unset
   Result current_;
 };
 

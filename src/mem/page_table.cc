@@ -109,4 +109,12 @@ void PageTable::DropTwin(UnitId unit) {
   }
 }
 
+void PageTable::ResetForRecovery() {
+  for (UnitId u = 0; u < states_.size(); ++u) {
+    DropTwin(u);
+    states_[u] = UnitState::kReadValid;
+  }
+  dirty_units_.clear();
+}
+
 }  // namespace dsm

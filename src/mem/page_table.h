@@ -147,6 +147,13 @@ class PageTable {
   void RecordDirty(UnitId unit) { dirty_units_.push_back(unit); }
   void ClearDirtyList() { dirty_units_.clear(); }
 
+  // Crash-recovery wipe (DESIGN.md §9): drop every twin (buffers go back
+  // to the pool), mark every unit kReadValid (the rebuilt image is
+  // readable but not dirty), and clear the dirty list — the page-table
+  // share of a crashed node's volatile-state reset.  Only the
+  // RecoveryCoordinator calls this, on the victim's own thread.
+  void ResetForRecovery();
+
   std::size_t num_units() const { return states_.size(); }
   std::size_t unit_bytes() const { return unit_bytes_; }
 

@@ -48,6 +48,11 @@ class SharerDirectory {
   // Registered procs for `unit` (popcount over the unit's mask words).
   int SharerCount(UnitId unit) const;
 
+  // NOTE for crash recovery (DESIGN.md §9): a recovering HLRC home must
+  // NOT consult this directory to pick reconstruction sources — running
+  // peers append bits concurrently, so any read here makes recovery cost
+  // depend on host timing.  Recovery probes every survivor instead.
+
   int num_procs() const { return num_procs_; }
 
  private:

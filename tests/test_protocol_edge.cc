@@ -282,10 +282,12 @@ TEST(ConfigValidation, RejectsBadServiceKnobs) {
 }
 
 TEST(ConfigValidation, RejectsMalformedFaultPlans) {
-  // Victim 0 hosts the barrier manager and the serial GC pass.
+  // Victim 0 is legal: its barrier-manager / serial-GC / watermark roles
+  // fail over to the lowest surviving rank for the crash barrier
+  // (DESIGN.md §9).
   RuntimeConfig cfg = Config(4);
   cfg.fault = FaultPlan::AtBarrier(0, 1);
-  ExpectRejected(cfg, "processor 0");
+  EXPECT_NO_THROW(Runtime rt(cfg));
 
   cfg = Config(4);
   cfg.fault = FaultPlan::AtBarrier(4, 1);  // out of range
@@ -314,6 +316,23 @@ TEST(ConfigValidation, RejectsMalformedFaultPlans) {
   // A well-formed plan on a protocol backend is accepted.
   cfg = Config(4);
   cfg.fault = FaultPlan::AfterRelease(1, 2);
+  EXPECT_NO_THROW(Runtime rt(cfg));
+}
+
+TEST(ConfigValidation, RejectsMalformedFaultSchedules) {
+  // A victim dies at most once per trigger point.
+  RuntimeConfig cfg = Config(4);
+  cfg.fault.events = {FaultPlan::AtBarrier(1, 2), FaultPlan::AtBarrier(1, 2)};
+  ExpectRejected(cfg, "at most once");
+
+  // A barrier phase must leave a survivor to run the coordinator roles.
+  cfg = Config(2);
+  cfg.fault.events = {FaultPlan::AtBarrier(0, 1), FaultPlan::AtBarrier(1, 1)};
+  ExpectRejected(cfg, "survive");
+
+  // The same victim may die twice at distinct points — proc 0 included.
+  cfg = Config(4);
+  cfg.fault.events = {FaultPlan::AtBarrier(0, 1), FaultPlan::AtBarrier(0, 3)};
   EXPECT_NO_THROW(Runtime rt(cfg));
 }
 

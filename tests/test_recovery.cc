@@ -1,17 +1,24 @@
 // Deterministic fault injection + crash recovery (DESIGN.md §9).
 //
-// A seeded FaultPlan kills one victim processor at a modelled point —
-// at its n-th barrier or right after its m-th interval close — and the
-// RecoveryCoordinator rebuilds its volatile state from the stable
-// substrate (LRC: canonical-base checkpoints + surviving archives; HLRC:
-// home images re-homed away from the victim).  The gates:
+// A seeded FaultSchedule kills an ordered list of victims — ANY
+// processor, proc 0 and repeat victims included — each at a modelled
+// point: the victim's n-th barrier or right after its m-th interval
+// close.  The RecoveryCoordinator rebuilds each victim's volatile state
+// from the stable substrate (LRC: canonical-base checkpoints + surviving
+// archives; HLRC: home images, with a crashed home's units reconstructed
+// from surviving sharers and re-homed via the override table), and proc
+// 0's coordinator roles fail over to the lowest surviving rank for the
+// crash barrier.  The gates:
 //
 //   * post-recovery results bit-identical to the failure-free run for
 //     every conformance cell (tolerance only for lock-scheduled apps),
-//   * the same plan (seed included) twice → bit-identical everything,
-//     recovery telemetry included,
+//     proc-0 and home-crash schedules included,
+//   * the same schedule (seed included) twice → bit-identical everything,
+//     recovery telemetry included — swept over ≥32 random schedules,
 //   * LRC with the archive GC disabled fails fast with a clear
-//     "no checkpoint available" error instead of hanging,
+//     "no checkpoint available" error instead of hanging; HLRC with the
+//     GC disabled accepts the same schedule (homes, not checkpoints, are
+//     its stable substrate),
 //   * recovery telemetry appears in ToString only when a fault fired.
 #include <gtest/gtest.h>
 
@@ -66,6 +73,10 @@ void ExpectModelledStateEqual(const RunStats& a, const RunStats& b,
   EXPECT_EQ(ca.recovery_data_bytes, cb.recovery_data_bytes) << where;
   EXPECT_EQ(ca.recovery_units, cb.recovery_units) << where;
   EXPECT_EQ(ca.recovery_records, cb.recovery_records) << where;
+  EXPECT_EQ(ca.recovery_retransmits, cb.recovery_retransmits) << where;
+  EXPECT_EQ(ca.recovery_retransmit_bytes, cb.recovery_retransmit_bytes)
+      << where;
+  EXPECT_EQ(a.recovery_events, b.recovery_events) << where;
   EXPECT_EQ(ca.signature.ToString(), cb.signature.ToString()) << where;
 
   for (std::size_t k = 0; k < kNumMessageKinds; ++k) {
@@ -89,12 +100,14 @@ struct EpochOutcome {
   RunStats stats;
 };
 
-EpochOutcome RunEpochs(BackendKind backend, const FaultPlan& plan) {
+EpochOutcome RunEpochs(BackendKind backend, const FaultSchedule& plan,
+                       int gc_interval = -1) {
   RuntimeConfig cfg;
   cfg.num_procs = 4;
   cfg.heap_bytes = 1u << 20;
   cfg.backend = backend;
   cfg.fault = plan;
+  if (gc_interval >= 0) cfg.gc_interval_barriers = gc_interval;
   constexpr int kEpochs = 8;
   constexpr std::size_t kWords = 16;
 
@@ -314,20 +327,184 @@ TEST(RecoveryDeterminism, SameSeedTwiceIsBitIdentical) {
   }
 }
 
-// The seed drives the victim choice deterministically and never picks the
-// barrier manager.
-TEST(RecoveryDeterminism, SeedDerivedVictimIsStableAndNeverProcZero) {
+// The seed drives the victim choice deterministically, uniform over ALL
+// processors — proc 0 is a legal pick (its coordinator roles fail over).
+TEST(RecoveryDeterminism, SeedDerivedVictimIsStableOverAllProcs) {
+  bool saw_zero = false;
+  bool saw_nonzero = false;
   for (std::uint64_t seed = 0; seed < 64; ++seed) {
     const FaultPlan p =
         ResolveFaultPlan(FaultPlan::AtBarrier(-1, 1, seed), 8);
     const FaultPlan q =
         ResolveFaultPlan(FaultPlan::AtBarrier(-1, 1, seed), 8);
     EXPECT_EQ(p.victim, q.victim) << seed;
-    EXPECT_GE(p.victim, 1) << seed;
+    EXPECT_GE(p.victim, 0) << seed;
     EXPECT_LT(p.victim, 8) << seed;
+    (p.victim == 0 ? saw_zero : saw_nonzero) = true;
   }
+  EXPECT_TRUE(saw_zero) << "64 seeds never picked proc 0: not uniform";
+  EXPECT_TRUE(saw_nonzero);
   // An explicit victim passes through untouched.
   EXPECT_EQ(ResolveFaultPlan(FaultPlan::AtBarrier(3, 1, 42), 8).victim, 3);
+
+  // Schedule resolution: event 0 of a seeded schedule reproduces the
+  // single-plan derivation (back-compat for recorded seeds), and resolved
+  // schedules are well-formed — no duplicate (victim, kind, point).
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    FaultSchedule s;
+    s.events.push_back(FaultPlan::AtBarrier(-1, 1, seed));
+    const FaultSchedule r = ResolveFaultSchedule(s, 8);
+    EXPECT_EQ(r.events[0].victim,
+              ResolveFaultPlan(FaultPlan::AtBarrier(-1, 1, seed), 8).victim)
+        << seed;
+
+    const FaultSchedule t = ResolveFaultSchedule(FaultSchedule::FromSeed(seed), 4);
+    for (std::size_t i = 0; i < t.events.size(); ++i) {
+      for (std::size_t j = 0; j < i; ++j) {
+        const FaultPlan& a = t.events[i];
+        const FaultPlan& b = t.events[j];
+        EXPECT_FALSE(a.victim == b.victim && a.kind == b.kind &&
+                     (a.kind == FaultKind::kAtBarrier
+                          ? a.barrier == b.barrier
+                          : a.release == b.release))
+            << "seed " << seed << " events " << j << "," << i;
+      }
+    }
+  }
+}
+
+// --- coordinator failover ----------------------------------------------------
+//
+// Proc 0 hosts the barrier manager, the serial GC pass, the checkpoint
+// watermark and the HLRC prune; killing it must hand those roles to the
+// lowest surviving rank for the crash barrier and hand them back after
+// the rebuild — with the shared results still bit-identical to the
+// failure-free run.
+TEST(CoordinatorFailover, ProcZeroCrashMatchesFailureFree) {
+  for (BackendKind backend : {BackendKind::kLrc, BackendKind::kHlrc}) {
+    const std::string where =
+        backend == BackendKind::kLrc ? "LRC" : "HLRC";
+    const EpochOutcome fault =
+        RunEpochs(backend, FaultPlan::AtBarrier(0, 3));
+    const EpochOutcome clean = RunEpochs(backend, FaultSchedule{});
+    ExpectEpochValues(fault, where + " proc-0 at-barrier");
+    EXPECT_EQ(fault.victim_saw, clean.victim_saw) << where;
+    EXPECT_EQ(fault.peer_saw, clean.peer_saw) << where;
+    EXPECT_EQ(fault.stats.comm.recoveries, 1u) << where;
+    EXPECT_EQ(fault.stats.recovery_events, 1) << where;
+  }
+}
+
+TEST(CoordinatorFailover, ProcZeroAfterReleaseCrashRecovers) {
+  // After-release crashes never involve the barrier manager mid-flight;
+  // this pins the proc-0 rebuild path itself (its own archive feeds the
+  // replay under LRC).
+  for (BackendKind backend : {BackendKind::kLrc, BackendKind::kHlrc}) {
+    const EpochOutcome fault =
+        RunEpochs(backend, FaultPlan::AfterRelease(0, 2));
+    const EpochOutcome clean = RunEpochs(backend, FaultSchedule{});
+    EXPECT_EQ(fault.victim_saw, clean.victim_saw);
+    EXPECT_EQ(fault.peer_saw, clean.peer_saw);
+    EXPECT_EQ(fault.stats.comm.recoveries, 1u);
+  }
+}
+
+// --- HLRC home-crash re-homing -----------------------------------------------
+//
+// Every armed HLRC victim is also a home under the pure block map, so its
+// units are reconstructed from surviving sharers and re-homed through the
+// override table; survivors (and the rebuilt victim) learn the new map
+// lazily, paying the modelled timeout + retransmit on their first home
+// contact after the re-home batch applies.
+TEST(HlrcHomeCrash, RehomedUnitsChargeRetransmits) {
+  const EpochOutcome fault =
+      RunEpochs(BackendKind::kHlrc, FaultPlan::AtBarrier(1, 3));
+  const EpochOutcome clean = RunEpochs(BackendKind::kHlrc, FaultSchedule{});
+  ExpectEpochValues(fault, "hlrc home crash");
+  EXPECT_EQ(fault.victim_saw, clean.victim_saw);
+  EXPECT_EQ(fault.peer_saw, clean.peer_saw);
+  EXPECT_EQ(fault.stats.comm.recoveries, 1u);
+  // The epoch program keeps flushing after the crash barrier, so at least
+  // one survivor hits a moved home and pays the retransmit.
+  EXPECT_GT(fault.stats.comm.recovery_retransmits, 0u);
+  EXPECT_GT(fault.stats.comm.recovery_retransmit_bytes, 0u);
+  EXPECT_EQ(clean.stats.comm.recovery_retransmits, 0u);
+}
+
+// --- multi-fault schedules ---------------------------------------------------
+
+TEST(MultiFaultSchedules, SameVictimTwiceRecoversTwice) {
+  // Satellite 6 regression: the per-event fired flags make re-arming a
+  // recovered victim race-free — the second event must fire exactly once,
+  // after (and only after) the first recovery completed.
+  FaultSchedule sched;
+  sched.events = {FaultPlan::AtBarrier(1, 2), FaultPlan::AtBarrier(1, 5)};
+  for (BackendKind backend : {BackendKind::kLrc, BackendKind::kHlrc}) {
+    const std::string where =
+        backend == BackendKind::kLrc ? "LRC" : "HLRC";
+    const EpochOutcome fault = RunEpochs(backend, sched);
+    const EpochOutcome clean = RunEpochs(backend, FaultSchedule{});
+    ExpectEpochValues(fault, where + " same victim twice");
+    EXPECT_EQ(fault.victim_saw, clean.victim_saw) << where;
+    EXPECT_EQ(fault.peer_saw, clean.peer_saw) << where;
+    EXPECT_EQ(fault.stats.comm.recoveries, 2u) << where;
+    EXPECT_EQ(fault.stats.recovery_events, 2) << where;
+  }
+}
+
+TEST(MultiFaultSchedules, ThreeVictimsMixedKindsAcrossBackends) {
+  FaultSchedule sched;
+  sched.events = {FaultPlan::AtBarrier(0, 2), FaultPlan::AfterRelease(1, 4),
+                  FaultPlan::AtBarrier(2, 6)};
+  for (BackendKind backend : {BackendKind::kLrc, BackendKind::kHlrc}) {
+    const std::string where =
+        backend == BackendKind::kLrc ? "LRC" : "HLRC";
+    const EpochOutcome fault = RunEpochs(backend, sched);
+    const EpochOutcome clean = RunEpochs(backend, FaultSchedule{});
+    ExpectEpochValues(fault, where + " three victims");
+    EXPECT_EQ(fault.victim_saw, clean.victim_saw) << where;
+    EXPECT_EQ(fault.peer_saw, clean.peer_saw) << where;
+    EXPECT_EQ(fault.stats.comm.recoveries, 3u) << where;
+    EXPECT_EQ(fault.stats.recovery_events, 3) << where;
+    EXPECT_GT(fault.stats.recovery_modelled_ns, 0) << where;
+  }
+}
+
+// --- seeded torture sweep ----------------------------------------------------
+//
+// ≥32 random schedules (1–3 faults, any victims, both crash kinds) × both
+// protocol backends × 3 deterministic apps: the post-recovery checksum
+// must equal the failure-free run and the same seed twice must be
+// bit-identical, recovery telemetry included.
+TEST(RecoveryTorture, RandomSchedulesRecoverBitIdentical) {
+  const char* kTortureApps[] = {"Jacobi", "MGS", "Shallow"};
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    const std::string app = kTortureApps[seed % 3];
+    for (BackendKind backend : {BackendKind::kLrc, BackendKind::kHlrc}) {
+      const std::string where =
+          app + " seed " + std::to_string(seed) +
+          (backend == BackendKind::kLrc ? " LRC" : " HLRC");
+      RuntimeConfig cfg;
+      cfg.num_procs = 4;
+      cfg.backend = backend;
+
+      auto clean_app = MakeApp(app, "tiny");
+      const AppRun clean = Execute(*clean_app, cfg);
+
+      cfg.fault = FaultSchedule::FromSeed(seed);
+      auto app_a = MakeApp(app, "tiny");
+      const AppRun a = Execute(*app_a, cfg);
+      auto app_b = MakeApp(app, "tiny");
+      const AppRun b = Execute(*app_b, cfg);
+
+      // An event whose trigger point lies beyond the app's run never
+      // fires; whatever DID fire must have recovered cleanly.
+      EXPECT_EQ(a.result, clean.result) << where;
+      EXPECT_EQ(a.result, b.result) << where;
+      ExpectModelledStateEqual(a.stats, b.stats, where);
+      EXPECT_LE(a.stats.comm.recoveries, cfg.fault.events.size()) << where;
+    }
+  }
 }
 
 // --- validation --------------------------------------------------------------
@@ -345,6 +522,20 @@ TEST(RecoveryValidation, LrcWithoutGcFailsFastWithClearError) {
               std::string::npos)
         << e.what();
   }
+}
+
+TEST(RecoveryValidation, HlrcWithoutGcAcceptsArmedSchedules) {
+  // Satellite 1: the no-checkpoint rejection is LRC-only.  HLRC recovery
+  // reads home images, not canonical-base checkpoints, so an armed
+  // schedule with the archive GC disabled must be accepted — and recover.
+  const EpochOutcome fault = RunEpochs(
+      BackendKind::kHlrc, FaultPlan::AtBarrier(1, 3), /*gc_interval=*/0);
+  const EpochOutcome clean =
+      RunEpochs(BackendKind::kHlrc, FaultSchedule{}, /*gc_interval=*/0);
+  ExpectEpochValues(fault, "hlrc gc=0");
+  EXPECT_EQ(fault.victim_saw, clean.victim_saw);
+  EXPECT_EQ(fault.peer_saw, clean.peer_saw);
+  EXPECT_EQ(fault.stats.comm.recoveries, 1u);
 }
 
 TEST(RecoveryValidation, ReferenceBackendRejectsFaultPlans) {
@@ -369,7 +560,8 @@ TEST(RecoveryTelemetry, EmittedOnlyWhenAFaultFired) {
 
   const EpochOutcome fault =
       RunEpochs(BackendKind::kLrc, FaultPlan::AtBarrier(1, 3));
-  EXPECT_NE(fault.stats.ToString().find("recovery_time:"), std::string::npos);
+  EXPECT_NE(fault.stats.ToString().find("recovery: events 1"),
+            std::string::npos);
   EXPECT_NE(fault.stats.comm.ToString().find("recovery: episodes=1"),
             std::string::npos);
   // Recovery messages count toward the totals but stay outside the
