@@ -156,6 +156,11 @@ struct Row {
   int procs = 8;
   int gc_lag = 0;  // non-default gc_lag_barriers for fault-sweep rows
   bool stable = false;
+  // --race=on: the happens-before checker ran; `races` is its report
+  // count.  Host-side observation only — excluded from the fingerprint
+  // (like mem), which must stay bit-identical to a --race=off sweep.
+  bool race_checked = false;
+  std::uint64_t races = 0;
   double wall_ms = 0;
   double modelled_ms = 0;
   double result = 0;
@@ -174,7 +179,7 @@ void Usage(std::FILE* f) {
       "usage: bench_wallclock [--procs=N[,N...]] [--gc=N] [--app=SUBSTR]\n"
       "                       [--mode=SUBSTR] [--backend=LRC|HLRC]\n"
       "                       [--fault=EVENT[+EVENT...]|seed:S]\n"
-      "                       [--fault-sweep] [--out=PATH] "
+      "                       [--fault-sweep] [--race=on|off] [--out=PATH] "
       "[--baseline=PATH]\n"
       "  EVENT is barrier:V@N (kill proc V at its N-th barrier) or\n"
       "  release:V@M (kill proc V after its M-th interval close); '+'\n"
@@ -182,7 +187,21 @@ void Usage(std::FILE* f) {
       "  is legal, proc 0 included.  seed:S derives the whole schedule\n"
       "  from the 64-bit seed S.  --fault-sweep runs the recovery-cost\n"
       "  slice: a proc-0 + home-crash schedule across gc_lag_barriers\n"
-      "  in {1,2,4,8} on both backends.\n");
+      "  in {1,2,4,8} on both backends.  --race=on runs the sweep under\n"
+      "  the happens-before race checker (DESIGN.md §10): host wall-clock\n"
+      "  pays for the shadow analysis, modelled numbers and fingerprints\n"
+      "  are bit-identical to --race=off.\n");
+}
+
+// --race takes exactly "on" or "off" — the same whole-token strictness as
+// ParseCount: a typo ('--race=On', '--race=1') must not silently run an
+// unchecked sweep that is then read as a clean race report.
+bool ParseRaceFlag(const char* s) {
+  if (std::strcmp(s, "on") == 0) return true;
+  if (std::strcmp(s, "off") == 0) return false;
+  std::fprintf(stderr, "--race: invalid value '%s' (want on|off)\n", s);
+  Usage(stderr);
+  std::exit(2);
 }
 
 // Validated numeric flag parsing: the whole token must be a base-10
@@ -277,7 +296,8 @@ std::vector<int> ParseProcsList(const char* s) {
 
 Row RunCell(const BenchScenario& s, const ModePoint& mode,
             const BackendPoint& backend, int num_procs, int gc_interval,
-            const FaultSpec& fault, int gc_lag = 0) {
+            const FaultSpec& fault, int gc_lag = 0,
+            bool race_check = false) {
   RuntimeConfig cfg;
   cfg.num_procs = num_procs;
   cfg.aggregation = mode.mode;
@@ -285,6 +305,7 @@ Row RunCell(const BenchScenario& s, const ModePoint& mode,
   cfg.backend = backend.backend;
   cfg.gc_interval_barriers = gc_interval;
   cfg.fault = fault.schedule;
+  cfg.race_check = race_check;
   if (gc_lag > 0) cfg.gc_lag_barriers = gc_lag;
 
   auto app = apps::MakeApp(s.app, s.dataset);
@@ -310,6 +331,8 @@ Row RunCell(const BenchScenario& s, const ModePoint& mode,
       static_cast<double>(run.stats.recovery_modelled_ns) / 1e6;
   row.recovery_bytes = run.stats.comm.recovery_data_bytes;
   row.recovery_retransmits = run.stats.comm.recovery_retransmits;
+  row.race_checked = run.stats.races.checked;
+  row.races = run.stats.races.reports.size() + run.stats.races.dropped;
   row.mem = run.stats.mem;
   return row;
 }
@@ -431,6 +454,12 @@ void WriteJson(const std::vector<Row>& rows, const std::string& path) {
     // fault-sweep rows add the gc_lag point they were run at.
     std::string fault_field =
         r.fault.empty() ? "" : "\"fault\": \"" + r.fault + "\", ";
+    // Race column, keyed on the flag (not the count): a checked row with
+    // zero races records "certified clean", an unchecked row omits the
+    // field so --race=off output is line-for-line the pre-detector shape.
+    if (r.race_checked) {
+      fault_field += "\"races\": " + std::to_string(r.races) + ", ";
+    }
     if (!r.fault.empty() && r.gc_lag > 0) {
       fault_field += "\"gc_lag\": " + std::to_string(r.gc_lag) + ", ";
     }
@@ -490,6 +519,7 @@ int main(int argc, char** argv) {
   std::string app_filter, mode_filter, backend_filter, baseline_path;
   FaultSpec fault_spec;  // inert unless --fault= is given
   bool fault_sweep_only = false;
+  bool race_check = false;
   bool explicit_out = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) {
@@ -523,6 +553,8 @@ int main(int argc, char** argv) {
       fault_spec = ParseFaultSpec(argv[i] + 8);
     } else if (std::strcmp(argv[i], "--fault-sweep") == 0) {
       fault_sweep_only = true;
+    } else if (std::strncmp(argv[i], "--race=", 7) == 0) {
+      race_check = ParseRaceFlag(argv[i] + 7);
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
       Usage(stderr);
@@ -544,7 +576,8 @@ int main(int argc, char** argv) {
   auto run_and_print = [&](const BenchScenario& s, const ModePoint& mode,
                            const BackendPoint& backend, int np,
                            const FaultSpec& fault, int gc_lag = 0) {
-    Row row = RunCell(s, mode, backend, np, gc_interval, fault, gc_lag);
+    Row row = RunCell(s, mode, backend, np, gc_interval, fault, gc_lag,
+                      race_check);
     std::printf(
         "%-8s %-10s %-4s %-4s %5d %10.1f %14.3f  %016llx %-6s %12llu "
         "%14llu%s%s",
@@ -555,6 +588,9 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(row.mem.peak_live_intervals),
         static_cast<unsigned long long>(row.mem.peak_archive_bytes / 1024),
         row.fault.empty() ? "" : "  fault=", row.fault.c_str());
+    if (row.race_checked) {
+      std::printf("  races=%llu", static_cast<unsigned long long>(row.races));
+    }
     if (!row.fault.empty()) {
       std::printf("  lag=%d recovery=%.3fms/%lluB/%llu rexmit", row.gc_lag,
                   row.recovery_ms,
@@ -603,9 +639,13 @@ int main(int argc, char** argv) {
   // A filtered (or non-default-GC, non-default-procs, explicitly faulted)
   // run is a partial sweep: never let it silently clobber the tracked
   // full-sweep baseline at the default path.
+  // --race=on is partial too: modelled numbers and fingerprints are
+  // bit-identical either way, but the host wall-clock pays for the shadow
+  // analysis and must not overwrite the tracked unchecked trajectory.
   const bool partial = !app_filter.empty() || !mode_filter.empty() ||
                        !backend_filter.empty() || !default_procs ||
                        !fault_spec.label.empty() || fault_sweep_only ||
+                       race_check ||
                        gc_interval !=
                            dsm::RuntimeConfig{}.gc_interval_barriers;
   // Cluster-scaling trajectory (DESIGN.md §8): the full default sweep also

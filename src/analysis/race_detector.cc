@@ -1,0 +1,258 @@
+#include "analysis/race_detector.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dsm {
+
+namespace {
+
+const char* KindName(bool is_write) { return is_write ? "write" : "read"; }
+
+std::tuple<ProcId, bool, std::uint32_t, std::uint32_t> SiteOrder(
+    const RaceSite& s) {
+  return {s.proc, s.is_write, s.phase, s.subphase};
+}
+
+}  // namespace
+
+std::string RaceReport::ToString() const {
+  std::ostringstream out;
+  out << "unit " << unit << " word " << word << ": P" << first.proc << " "
+      << KindName(first.is_write) << " @ " << first.phase << "."
+      << first.subphase << " <-> P" << second.proc << " "
+      << KindName(second.is_write) << " @ " << second.phase << "."
+      << second.subphase;
+  return out.str();
+}
+
+std::string RaceStats::ToString() const {
+  if (!checked) return {};
+  std::ostringstream out;
+  out << "races: " << reports.size();
+  if (dropped > 0) out << " (+" << dropped << " beyond cap)";
+  out << "\n";
+  for (const RaceReport& r : reports) out << "  " << r.ToString() << "\n";
+  return out.str();
+}
+
+RaceDetector::RaceDetector(int num_procs, std::size_t num_units,
+                           std::size_t words_per_unit, int num_locks)
+    : num_procs_(num_procs),
+      words_per_unit_(words_per_unit),
+      procs_(static_cast<std::size_t>(num_procs)),
+      shadow_(num_units),
+      shadow_mutex_(std::make_unique<std::mutex[]>(num_units)),
+      lock_clock_(static_cast<std::size_t>(num_locks)),
+      lock_mutex_(std::make_unique<std::mutex[]>(kLockStripes)),
+      arrive_accum_(num_procs) {
+  for (int p = 0; p < num_procs; ++p) {
+    procs_[p].clock = VectorClock(num_procs);
+    procs_[p].clock[p] = 1;  // epoch clocks are 1-based; 0 = "no access"
+  }
+}
+
+RaceDetector::WordShadow* RaceDetector::EnsureUnit(UnitId unit) {
+  std::unique_ptr<WordShadow[]>& slot = shadow_[unit];
+  if (slot == nullptr) {
+    slot = std::make_unique<WordShadow[]>(words_per_unit_);
+  }
+  return slot.get();
+}
+
+RaceDetector::Site* RaceDetector::AcquireReadVector() {
+  std::lock_guard<std::mutex> g(rv_mutex_);
+  if (!rv_free_.empty()) {
+    Site* rv = rv_free_.back();
+    rv_free_.pop_back();
+    std::fill(rv, rv + num_procs_, Site{});
+    return rv;
+  }
+  rv_pool_.push_back(
+      std::make_unique<Site[]>(static_cast<std::size_t>(num_procs_)));
+  return rv_pool_.back().get();
+}
+
+void RaceDetector::ReleaseReadVector(Site* rv) {
+  std::lock_guard<std::mutex> g(rv_mutex_);
+  rv_free_.push_back(rv);
+}
+
+void RaceDetector::Report(UnitId unit, std::uint32_t word, const Site& prior,
+                          bool prior_is_write, const Site& current,
+                          bool is_write) {
+  if (prior.proc == current.proc) return;  // same-thread accesses are ordered
+  RaceSite a{prior.proc, prior_is_write, prior.phase, prior.subphase};
+  RaceSite b{current.proc, is_write, current.phase, current.subphase};
+  // Normalize by (proc, kind), not observation order: whichever access the
+  // host happened to see second, the report is the same.
+  if (SiteOrder(b) < SiteOrder(a)) std::swap(a, b);
+  const ReportKey key{unit,   word,       a.proc, a.is_write,
+                      a.phase, b.proc,    b.is_write, b.phase};
+  std::lock_guard<std::mutex> g(report_mutex_);
+  if (!report_keys_.insert(key).second) return;  // already reported
+  if (reports_.size() >= kMaxReports) {
+    ++dropped_;
+    return;
+  }
+  reports_.push_back(RaceReport{unit, word, a, b});
+}
+
+void RaceDetector::OnAccess(ProcId p, UnitId unit, std::uint32_t first_word,
+                            std::uint32_t nwords, bool is_write) {
+  ProcState& ps = procs_[p];
+  const Seq own = ps.clock[p];
+  const Site me{own, p, ps.phase, ps.subphase};
+  std::lock_guard<std::mutex> g(shadow_mutex_[unit]);
+  WordShadow* shadow = EnsureUnit(unit);
+  DSM_DCHECK(first_word + nwords <= words_per_unit_);
+  for (std::uint32_t i = 0; i < nwords; ++i) {
+    WordShadow& w = shadow[first_word + i];
+    if (is_write) {
+      if (w.write.clock == own && w.write.proc == p) {
+        continue;  // same-epoch write: nothing new to order against
+      }
+      if (w.write.clock != 0 && !Covered(ps, w.write)) {
+        Report(unit, first_word + i, w.write, /*prior_is_write=*/true, me,
+               /*is_write=*/true);
+      }
+      if (w.rv != nullptr) {
+        for (int q = 0; q < num_procs_; ++q) {
+          if (w.rv[q].clock != 0 && !Covered(ps, w.rv[q])) {
+            Report(unit, first_word + i, w.rv[q], /*prior_is_write=*/false, me,
+                   /*is_write=*/true);
+          }
+        }
+        ReleaseReadVector(w.rv);
+        w.rv = nullptr;
+      } else if (w.read.clock != 0 && !Covered(ps, w.read)) {
+        Report(unit, first_word + i, w.read, /*prior_is_write=*/false, me,
+               /*is_write=*/true);
+      }
+      w.write = me;
+      w.read = Site{};
+    } else {
+      if (w.rv != nullptr) {
+        if (w.rv[p].clock == own) continue;  // same-epoch read
+        if (w.write.clock != 0 && !Covered(ps, w.write)) {
+          Report(unit, first_word + i, w.write, /*prior_is_write=*/true, me,
+                 /*is_write=*/false);
+        }
+        w.rv[p] = me;
+        continue;
+      }
+      if (w.read.clock == own && w.read.proc == p) {
+        continue;  // same-epoch read
+      }
+      if (w.write.clock != 0 && !Covered(ps, w.write)) {
+        Report(unit, first_word + i, w.write, /*prior_is_write=*/true, me,
+               /*is_write=*/false);
+      }
+      if (w.read.clock == 0 || w.read.proc == p || Covered(ps, w.read)) {
+        // Exclusive read (FastTrack): the previous read is ordered before
+        // this one, so a single epoch still suffices.
+        w.read = me;
+      } else {
+        // Concurrent readers: inflate to a per-processor read vector.
+        Site* rv = AcquireReadVector();
+        rv[w.read.proc] = w.read;
+        rv[p] = me;
+        w.rv = rv;
+        w.read = Site{};
+      }
+    }
+  }
+}
+
+void RaceDetector::OnBarrierArrive(ProcId p) {
+  std::lock_guard<std::mutex> g(barrier_mutex_);
+  arrive_accum_.Merge(procs_[p].clock);
+  if (++arrive_count_ == num_procs_) {
+    merged_.emplace_back(arrive_gen_, MergedGen{arrive_accum_, 0});
+    arrive_accum_ = VectorClock(num_procs_);
+    arrive_count_ = 0;
+    ++arrive_gen_;
+  }
+}
+
+void RaceDetector::OnBarrierDepart(ProcId p) {
+  ProcState& ps = procs_[p];
+  std::lock_guard<std::mutex> g(barrier_mutex_);
+  auto it = std::find_if(
+      merged_.begin(), merged_.end(),
+      [&](const auto& e) { return e.first == ps.barrier_gen; });
+  DSM_CHECK(it != merged_.end()) << "barrier depart without matching arrive";
+  ps.clock = it->second.vc;
+  ps.clock[p] += 1;  // fresh epoch after the barrier
+  ps.phase += 1;
+  ps.subphase = 0;
+  ps.barrier_gen += 1;
+  if (++it->second.departed == num_procs_) merged_.erase(it);
+}
+
+void RaceDetector::OnLockRelease(ProcId p, int lock_id) {
+  ProcState& ps = procs_[p];
+  {
+    std::lock_guard<std::mutex> g(
+        lock_mutex_[static_cast<std::size_t>(lock_id) % kLockStripes]);
+    VectorClock& lc = lock_clock_[lock_id];
+    if (lc.size() == 0) lc = VectorClock(num_procs_);
+    lc.Merge(ps.clock);
+  }
+  ps.clock[p] += 1;  // fresh epoch after the release
+  auto& held = ps.held_locks;
+  held.erase(std::remove(held.begin(), held.end(), lock_id), held.end());
+}
+
+void RaceDetector::OnLockAcquire(ProcId p, int lock_id, bool cached,
+                                 std::uint64_t chain_pos) {
+  ProcState& ps = procs_[p];
+  ps.held_locks.push_back(lock_id);
+  if (cached) return;  // re-acquire by the last releaser: nothing new
+  ps.subphase = static_cast<std::uint32_t>(chain_pos);
+  std::lock_guard<std::mutex> g(
+      lock_mutex_[static_cast<std::size_t>(lock_id) % kLockStripes]);
+  const VectorClock& lc = lock_clock_[lock_id];
+  if (lc.size() != 0) ps.clock.Merge(lc);
+}
+
+void RaceDetector::OnCrashSweep(ProcId p) {
+  // Victim's own thread, at the crash point: publish its clock on every
+  // lock it still holds, exactly as its own releases would have, before
+  // LockService::OnCrash hands those locks to peers.  The held set is
+  // kept — the app thread continues through the crash and its orphan
+  // release republishes the same clock (harmless) and clears the entry.
+  ProcState& ps = procs_[p];
+  for (int lock_id : ps.held_locks) {
+    std::lock_guard<std::mutex> g(
+        lock_mutex_[static_cast<std::size_t>(lock_id) % kLockStripes]);
+    VectorClock& lc = lock_clock_[lock_id];
+    if (lc.size() == 0) lc = VectorClock(num_procs_);
+    lc.Merge(ps.clock);
+  }
+}
+
+RaceStats RaceDetector::Collect() const {
+  RaceStats stats;
+  stats.checked = true;
+  std::lock_guard<std::mutex> g(report_mutex_);
+  stats.reports = reports_;
+  stats.dropped = dropped_;
+  std::sort(stats.reports.begin(), stats.reports.end(),
+            [](const RaceReport& x, const RaceReport& y) {
+              return std::tuple(x.unit, x.word, SiteOrder(x.first),
+                                SiteOrder(x.second)) <
+                     std::tuple(y.unit, y.word, SiteOrder(y.first),
+                                SiteOrder(y.second));
+            });
+  return stats;
+}
+
+std::size_t RaceDetector::report_count() const {
+  std::lock_guard<std::mutex> g(report_mutex_);
+  return reports_.size();
+}
+
+}  // namespace dsm

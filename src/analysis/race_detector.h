@@ -1,0 +1,216 @@
+// On-line happens-before race detection over the LRC clock substrate
+// (DESIGN.md §10).  Opt-in via RuntimeConfig::race_check; purely
+// observational — the detector charges no modelled time, credits no
+// modelled counters, and never touches protocol state, so every modelled
+// quantity (times, comm, fingerprints) is bit-identical with the checker
+// on or off.
+//
+// Algorithm: FastTrack-style epochs (Flanagan & Freund) over shadow
+// words.  Every shared word carries a last-write epoch plus an adaptive
+// read side — a single read epoch that inflates to a per-processor read
+// vector the first time genuinely concurrent readers appear.  An access
+// races with a recorded prior access iff the prior epoch is not covered
+// by the accessor's happens-before clock.
+//
+// The detector maintains its OWN per-processor vector clocks rather than
+// reading the protocol's vc_: the reference backend never maintains vc_
+// (its barriers and locks are pure rendezvous), yet it must yield the
+// oracle ordering.  The clocks are advanced by the same events the
+// protocol orders on — lock release publishes the releaser's clock on
+// the lock, a non-cached acquire merges it, a barrier merges every
+// arriver's clock into one departure clock — so under LRC/HLRC the
+// detector's happens-before coincides with the ordering the protocol
+// actually enforces, and under the reference backend it reproduces it.
+//
+// Threading: sync hooks and shadow state are mutex-guarded (per-unit
+// shadow mutexes, striped lock-clock mutexes, one barrier-merge mutex),
+// because a *racy target program* drives conflicting hooks from
+// unordered host threads — the checker must stay TSan-clean precisely
+// when the program under test is not.  Per-proc clocks are touched only
+// by their own thread (the barrier merge copies them under the barrier
+// mutex, still on the owning thread).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/vector_clock.h"
+#include "mem/types.h"
+
+namespace dsm {
+
+// One side of a detected race: which processor, what kind of access, and
+// where in the synchronization structure it happened (barrier phase +
+// lock-chain sub-phase, the same coordinates stamp_key() quantizes the
+// lazy-diffing cost model with).
+struct RaceSite {
+  ProcId proc = -1;
+  bool is_write = false;
+  std::uint32_t phase = 0;     // completed barriers before the access
+  std::uint32_t subphase = 0;  // lock-chain sub-phase within the phase
+
+  bool operator==(const RaceSite&) const = default;
+};
+
+// A deduplicated, normalized race: `first`/`second` are ordered by
+// (proc, kind), never by host observation order, so a seeded run produces
+// the identical report list no matter how the host interleaves threads.
+struct RaceReport {
+  UnitId unit = 0;
+  std::uint32_t word = 0;  // word offset within the unit
+  RaceSite first;
+  RaceSite second;
+
+  bool operator==(const RaceReport&) const = default;
+  std::string ToString() const;
+};
+
+// Detector results carried on RunStats.  `checked` distinguishes "ran
+// clean" from "never ran": a default RunStats reports checked == false.
+struct RaceStats {
+  bool checked = false;
+  std::vector<RaceReport> reports;  // deduped, deterministically sorted
+  std::uint64_t dropped = 0;        // distinct races beyond the report cap
+
+  std::string ToString() const;  // empty when !checked
+};
+
+class RaceDetector {
+ public:
+  RaceDetector(int num_procs, std::size_t num_units,
+               std::size_t words_per_unit, int num_locks);
+
+  // Word-range access by proc `p` (called from the Node access paths for
+  // every application read/write; never from protocol-internal copies,
+  // so recovery replay and diff application are invisible here).
+  void OnAccess(ProcId p, UnitId unit, std::uint32_t first_word,
+                std::uint32_t nwords, bool is_write);
+
+  // Barrier bracket: Arrive merges the caller's clock into the pending
+  // generation; Depart (after the real barrier released the caller)
+  // adopts the generation's merged clock, starts a fresh local epoch,
+  // and advances the phase counters.
+  void OnBarrierArrive(ProcId p);
+  void OnBarrierDepart(ProcId p);
+
+  // Release publishes the releaser's clock on the lock and starts a
+  // fresh epoch; a non-cached acquire merges the lock's clock (a cached
+  // re-acquire by the last releaser learns nothing new) and adopts the
+  // transfer's chain position as the sub-phase, mirroring the protocol.
+  void OnLockRelease(ProcId p, int lock_id);
+  void OnLockAcquire(ProcId p, int lock_id, bool cached,
+                     std::uint64_t chain_pos);
+
+  // Crash-recovery composition (DESIGN.md §9): called on the victim's
+  // own thread at the crash point, before LockService::OnCrash
+  // force-releases the locks it holds.  Publishes the victim's clock on
+  // every lock it still held so a peer granted a force-released lock
+  // inherits the ordering the victim's own release would have published
+  // — recovery must not manufacture reports the program didn't earn.
+  void OnCrashSweep(ProcId p);
+
+  // Deduplicated reports in deterministic order.  Safe to call after
+  // Runtime::Run has joined the proc threads.
+  RaceStats Collect() const;
+
+  std::size_t report_count() const;
+
+ private:
+  // One recorded access epoch.  clock == 0 means "no access recorded"
+  // (detector clocks start at 1, so every real epoch is nonzero).
+  struct Site {
+    Seq clock = 0;
+    ProcId proc = -1;
+    std::uint32_t phase = 0;
+    std::uint32_t subphase = 0;
+  };
+
+  // Shadow state of one shared word: last-write epoch + adaptive read
+  // side (`read` while a single epoch suffices, inflated to a
+  // per-processor vector in the pool once concurrent readers appear).
+  // `rv` is the pool-owned array itself, not a pool index: the pooled
+  // arrays never move, so the access path can use the pointer under the
+  // unit's shadow mutex alone, while the pool vector (whose backing
+  // store DOES move on growth) is only ever touched under rv_mutex_.
+  struct WordShadow {
+    Site write;
+    Site read;
+    Site* rv = nullptr;  // inflated read vector (pool-owned); null = none
+  };
+
+  // Padded to a cache line: clocks are own-thread-hot.
+  struct alignas(64) ProcState {
+    VectorClock clock;
+    std::uint32_t phase = 0;
+    std::uint32_t subphase = 0;
+    std::uint64_t barrier_gen = 0;  // barriers this proc has departed
+    std::vector<int> held_locks;    // own-thread only (crash sweep too)
+  };
+
+  bool Covered(const ProcState& ps, const Site& s) const {
+    return s.clock <= ps.clock[s.proc];
+  }
+
+  WordShadow* EnsureUnit(UnitId unit);
+  Site* AcquireReadVector();         // zeroed, ready to adopt readers
+  void ReleaseReadVector(Site* rv);  // back to the free list
+
+  void Report(UnitId unit, std::uint32_t word, const Site& prior,
+              bool prior_is_write, const Site& current, bool is_write);
+
+  const int num_procs_;
+  const std::size_t words_per_unit_;
+
+  std::vector<ProcState> procs_;
+
+  // Shadow words, lazily allocated per touched unit (the WordTracker
+  // discipline); one mutex per unit so conflicting hooks from unordered
+  // threads serialize without a global bottleneck.
+  std::vector<std::unique_ptr<WordShadow[]>> shadow_;
+  std::unique_ptr<std::mutex[]> shadow_mutex_;
+
+  // Read-vector pool (num_procs_ sites each).  rv_mutex_ guards the pool
+  // and free-list vectors; the arrays they own are handed out by pointer
+  // and then guarded by the borrowing word's shadow mutex.
+  std::mutex rv_mutex_;
+  std::vector<std::unique_ptr<Site[]>> rv_pool_;
+  std::vector<Site*> rv_free_;
+
+  // Per-lock release clocks.  Striped mutexes: the crash sweep can
+  // publish a victim's clock while a peer merges it (see OnCrashSweep),
+  // so lock-clock access is never assumed single-threaded.
+  static constexpr std::size_t kLockStripes = 64;
+  std::vector<VectorClock> lock_clock_;
+  std::unique_ptr<std::mutex[]> lock_mutex_;  // kLockStripes entries
+
+  // Barrier merge state: one generation accumulates arrivals at a time
+  // (the real barrier orders them); departed generations are kept until
+  // their last departure adopts the merged clock.
+  std::mutex barrier_mutex_;
+  VectorClock arrive_accum_;
+  int arrive_count_ = 0;
+  std::uint64_t arrive_gen_ = 0;
+  struct MergedGen {
+    VectorClock vc;
+    int departed = 0;
+  };
+  std::vector<std::pair<std::uint64_t, MergedGen>> merged_;
+
+  // Reports: deduped on insertion (normalized key), capped so a
+  // pathologically racy program cannot grow without bound.
+  static constexpr std::size_t kMaxReports = 1024;
+  using ReportKey = std::tuple<UnitId, std::uint32_t, ProcId, bool,
+                               std::uint32_t, ProcId, bool, std::uint32_t>;
+  mutable std::mutex report_mutex_;
+  std::set<ReportKey> report_keys_;
+  std::vector<RaceReport> reports_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dsm

@@ -1,5 +1,9 @@
 #include "apps/fuzz.h"
 
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
 #include "common/check.h"
 #include "common/rng.h"
 
@@ -95,6 +99,110 @@ void Fuzz::Body(Proc& p) {
     total += static_cast<double>(p.Read(acc_, static_cast<std::size_t>(l)));
   }
   if (p.id() == 0) result_ = total;
+}
+
+RacyFuzz::RacyFuzz(FuzzParams params) : params_(std::move(params)) {
+  DSM_CHECK_GT(params_.phases, 0);
+}
+
+std::size_t RacyFuzz::heap_bytes() const {
+  return params_.span_pages * kBasePageBytes + (96u << 10);
+}
+
+void RacyFuzz::Setup(Runtime& rt) {
+  const std::size_t span_words =
+      params_.span_pages * kBasePageBytes / sizeof(std::int32_t);
+  span_ = rt.AllocUnitAligned<std::int32_t>(span_words, "racy_span");
+  racy_ = rt.AllocUnitAligned<std::int32_t>(
+      static_cast<std::size_t>(params_.phases), "racy_words");
+  reducer_.Setup(rt, "racy_sum");
+}
+
+void RacyFuzz::Body(Proc& p) {
+  const std::size_t span_words =
+      params_.span_pages * kBasePageBytes / sizeof(std::int32_t);
+  const std::size_t half = span_words / 2;
+  const auto nprocs = static_cast<std::size_t>(p.nprocs());
+  const auto id = static_cast<std::size_t>(p.id());
+  const std::size_t owned = half / nprocs;
+  DSM_CHECK_GT(owned, 0u);
+
+  Xoshiro256 rng(params_.seed ^
+                 (0x9e3779b97f4a7c15ull * (id + 1)));
+  double read_sum = 0.0;
+  std::int32_t racy_sink = 0;  // racy values stay out of the checksum
+
+  for (int phase = 0; phase < params_.phases; ++phase) {
+    const std::size_t write_base = (phase % 2 == 0) ? 0 : half;
+    const std::size_t read_base = half - write_base;
+    const auto wp = static_cast<std::size_t>(phase) % nprocs;
+    const auto rp = (static_cast<std::size_t>(phase) + 1) % nprocs;
+    for (int op = 0; op < params_.ops_per_phase; ++op) {
+      // The injected race: wp writes racy_[phase] mid-phase; rp touches
+      // the same word later in ITS program with no synchronization in
+      // between — unordered no matter how the host schedules the two.
+      if (op == params_.ops_per_phase / 3 && id == wp) {
+        p.Write(racy_, static_cast<std::size_t>(phase),
+                static_cast<std::int32_t>(phase + 1));
+      }
+      if (op == 2 * params_.ops_per_phase / 3 && id == rp && rp != wp) {
+        if (phase % 2 == 0) {
+          racy_sink += p.Read(racy_, static_cast<std::size_t>(phase));
+        } else {
+          p.Write(racy_, static_cast<std::size_t>(phase),
+                  static_cast<std::int32_t>(phase + 101));
+        }
+      }
+      // Background traffic: Fuzz's phase-alternating halves, reads from
+      // the half nobody writes this phase (race-free by construction).
+      const std::uint64_t kind = rng.UniformInt(100);
+      if (kind < 50) {
+        const std::size_t w = read_base + rng.UniformInt(half);
+        read_sum += static_cast<double>(p.Read(span_, w));
+      } else {
+        const std::size_t w =
+            write_base + rng.UniformInt(owned) * nprocs + id;
+        const auto value = static_cast<std::int32_t>(
+            (w * 7 + static_cast<std::size_t>(phase) * 13 + id * 3) % 1021);
+        p.Write(span_, w, value);
+      }
+      p.Compute(3);
+    }
+    p.Barrier();
+  }
+  (void)racy_sink;
+
+  reducer_.Contribute(p, read_sum);
+  p.Barrier();
+  const double total = reducer_.Sum(p);
+  if (p.id() == 0) result_ = total;
+}
+
+std::vector<RaceReport> RacyFuzz::ExpectedRaces(
+    int num_procs, std::size_t unit_bytes) const {
+  std::vector<RaceReport> out;
+  if (num_procs < 2) return out;
+  for (int k = 0; k < params_.phases; ++k) {
+    const GlobalAddr addr = racy_.addr_of(static_cast<std::size_t>(k));
+    RaceSite a{static_cast<ProcId>(k % num_procs), /*is_write=*/true,
+               static_cast<std::uint32_t>(k), 0};
+    RaceSite b{static_cast<ProcId>((k + 1) % num_procs),
+               /*is_write=*/k % 2 != 0, static_cast<std::uint32_t>(k), 0};
+    // Same normalization as RaceDetector::Report: (proc, kind) order.
+    if (std::tuple(b.proc, b.is_write) < std::tuple(a.proc, a.is_write)) {
+      std::swap(a, b);
+    }
+    out.push_back(RaceReport{
+        static_cast<UnitId>(addr / unit_bytes),
+        static_cast<std::uint32_t>((addr % unit_bytes) / kWordBytes), a, b});
+  }
+  // Same order as RaceDetector::Collect.
+  std::sort(out.begin(), out.end(),
+            [](const RaceReport& x, const RaceReport& y) {
+              return std::tuple(x.unit, x.word, x.first.proc, x.second.proc) <
+                     std::tuple(y.unit, y.word, y.first.proc, y.second.proc);
+            });
+  return out;
 }
 
 }  // namespace dsm::apps

@@ -56,4 +56,40 @@ class Fuzz : public Application {
   double result_ = 0.0;
 };
 
+// RacyFuzz: the deliberately-racy variant for the race detector's
+// regression gate (DESIGN.md §10).  Same seeded barrier-phased
+// read/write traffic as Fuzz (no lock ops — lock-chain sub-phases are
+// host-order dependent, and the injected schedule must reproduce
+// bit-for-bit), plus ONE intentionally unsynchronized word per phase: a
+// dedicated slot racy_[k] that proc k % nprocs writes and proc
+// (k + 1) % nprocs reads (even phases) or writes (odd phases) with no
+// ordering between them.  The racy values never feed the checksum, so
+// the result stays bit-deterministic while the schedule of races is
+// exactly ExpectedRaces().
+class RacyFuzz : public Application {
+ public:
+  explicit RacyFuzz(FuzzParams params);
+
+  const char* name() const override { return "RacyFuzz"; }
+  std::string dataset() const override { return params_.label; }
+  std::size_t heap_bytes() const override;
+
+  void Setup(Runtime& rt) override;
+  void Body(Proc& p) override;
+  double result() const override { return result_; }
+
+  // The injected-race schedule, normalized and ordered exactly as
+  // RaceDetector::Collect reports it.  Valid after Setup (needs racy_'s
+  // address) for a run at `num_procs` processors and `unit_bytes` units.
+  std::vector<RaceReport> ExpectedRaces(int num_procs,
+                                        std::size_t unit_bytes) const;
+
+ private:
+  FuzzParams params_;
+  SharedArray<std::int32_t> span_;
+  SharedArray<std::int32_t> racy_;  // one unsynchronized word per phase
+  Reducer reducer_;
+  double result_ = 0.0;
+};
+
 }  // namespace dsm::apps

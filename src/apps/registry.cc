@@ -26,6 +26,9 @@ std::unique_ptr<Application> MakeApp(const std::string& app,
   if (app == "TSP") return std::make_unique<Tsp>(TspDataset(dataset));
   if (app == "ILINK") return std::make_unique<Ilink>(IlinkDataset(dataset));
   if (app == "Fuzz") return std::make_unique<Fuzz>(FuzzDataset(dataset));
+  if (app == "RacyFuzz") {
+    return std::make_unique<RacyFuzz>(FuzzDataset(dataset));
+  }
   DSM_CHECK(false) << "unknown application " << app;
   return nullptr;
 }

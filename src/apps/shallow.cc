@@ -1,6 +1,7 @@
 #include "apps/shallow.h"
 
 #include <cmath>
+#include <vector>
 
 #include "common/check.h"
 
@@ -68,7 +69,21 @@ void Shallow::Body(Proc& p) {
   }
   p.Barrier();
 
+  // Wraparound snapshot: the master copies the last column of p to the
+  // first each iteration.  The copy's value is last iteration's height
+  // field, so the READ happens here — right after the barrier, before
+  // the owner's phase-C rewrite of column C-1 — and the value is carried
+  // in host-private memory until the phase-C write below.  (Reading at
+  // the write site would race with the owner's same-phase update; the
+  // race detector flags exactly that.)
+  std::vector<float> wrap(p.id() == 0 ? R : 0);
+
   for (int iter = 0; iter < params_.iterations; ++iter) {
+    if (p.id() == 0) {
+      for (std::size_t i = 0; i < R; ++i) {
+        wrap[i] = p.Read(p_, at(i, C - 1));
+      }
+    }
     // --- Phase A: fluxes.  Own columns; reads column j-1 (left
     // neighbour's last column at the chunk boundary).
     for (std::size_t j = cols.begin; j < cols.end; ++j) {
@@ -153,10 +168,11 @@ void Shallow::Body(Proc& p) {
       p.Compute(12 * R);
     }
 
-    // Wraparound: the master copies the last column of p to the first.
+    // Wraparound write from the snapshot taken at the top of the
+    // iteration; column 0 is touched by no other processor this phase.
     if (p.id() == 0) {
       for (std::size_t i = 0; i < R; ++i) {
-        p.Write(p_, at(i, 0), p.Read(p_, at(i, C - 1)));
+        p.Write(p_, at(i, 0), wrap[i]);
       }
     }
     p.Barrier();

@@ -239,6 +239,15 @@ struct RuntimeConfig {
   // Number of DSM lock ids available to the application.
   int num_locks = 4096;
 
+  // On-line happens-before race detection (DESIGN.md §10): shadow every
+  // shared word with FastTrack-style access epochs ordered by the same
+  // acquire/release/barrier events the protocol orders on, and report
+  // any unordered conflicting pair through RunStats.  Purely
+  // observational — host-only cost; every modelled time, counter, and
+  // fingerprint is bit-identical with the checker on or off, and with it
+  // off the access hot path pays nothing.
+  bool race_check = false;
+
   // Deterministic crash schedule (DESIGN.md §9).  Default-constructed =
   // no fault; armed schedules require a checkpoint source only under LRC
   // (gc_interval_barriers > 0, see Validate()) — HLRC recovery rebuilds

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/race_detector.h"
 #include "common/check.h"
 #include "core/protocol.h"
 
@@ -544,6 +545,11 @@ void RecoveryCoordinator::Recover(Node& node, const VectorClock& to,
   // anything it held (publishing the recovered clock/time, exactly what
   // its own release at the crash point would have), invalidate its cached
   // tokens.  Its in-flight transparent release becomes an orphan no-op.
+  // The race detector sweeps first, for the same reason the detector's
+  // release hook precedes LockService::Release: a peer granted a
+  // force-released lock must find the victim's detector clock already on
+  // it — recovery replay must not manufacture reports (DESIGN.md §10).
+  if (shared.race != nullptr) shared.race->OnCrashSweep(node.id_);
   shared.locks->OnCrash(node.id_, node.vc_, node.clock_.now());
 
   const auto wall_end = std::chrono::steady_clock::now();

@@ -6,6 +6,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "analysis/race_detector.h"
 #include "core/fault.h"
 
 namespace dsm {
@@ -112,6 +113,11 @@ SharedState::SharedState(const RuntimeConfig& cfg)
       archives.back()->set_telemetry(&archive_telemetry);
     }
   }
+  if (cfg.race_check) {
+    race = std::make_unique<RaceDetector>(cfg.num_procs, heap.num_units(),
+                                          heap.unit_bytes() / kWordBytes,
+                                          cfg.num_locks);
+  }
   canonical =
       std::make_unique<CanonicalStore>(heap.num_units(), heap.unit_bytes());
   sharers = std::make_unique<SharerDirectory>(heap.num_units(), cfg.num_procs);
@@ -158,6 +164,7 @@ Node::Node(ProcId id, SharedState& shared)
             shared.config.backend == BackendKind::kHlrc),
       twin_track_(hlrc_ && shared.config.hlrc_skip_clean_diff_scan),
       shared_access_cost_(shared.config.cost.shared_access),
+      race_(shared.race.get()),
       image_(shared.reference_image
                  ? nullptr
                  : new std::byte[shared.heap.heap_bytes()]()),
@@ -199,6 +206,9 @@ void Node::ReadBytesSlow(GlobalAddr addr, void* out, std::size_t bytes) {
                       static_cast<std::uint32_t>(chunk / kWordBytes),
                       [this](std::uint32_t msg) { comm_stats_.Credit(msg); });
     }
+    if (race_ != nullptr) {
+      RaceOnAccess(unit, offset_in_unit, chunk, /*is_write=*/false);
+    }
     std::memcpy(dst, data_ + addr, chunk);
     addr += chunk;
     dst += chunk;
@@ -228,6 +238,9 @@ void Node::WriteBytesSlow(GlobalAddr addr, const void* in,
         twin_dirty_[unit] = 1;
       }
     }
+    if (race_ != nullptr) {
+      RaceOnAccess(unit, offset_in_unit, chunk, /*is_write=*/true);
+    }
     std::memcpy(data_ + addr, src, chunk);
     addr += chunk;
     src += chunk;
@@ -235,6 +248,13 @@ void Node::WriteBytesSlow(GlobalAddr addr, const void* in,
   }
   clock_.Advance(static_cast<VirtualNanos>(total_words) *
                  shared_access_cost_);
+}
+
+void Node::RaceOnAccess(UnitId unit, std::size_t offset_in_unit,
+                        std::size_t bytes, bool is_write) {
+  race_->OnAccess(id_, unit,
+                  static_cast<std::uint32_t>(offset_in_unit / kWordBytes),
+                  static_cast<std::uint32_t>(bytes / kWordBytes), is_write);
 }
 
 void Node::ReadFault(UnitId unit) {
@@ -1268,6 +1288,11 @@ void Node::GcFlattenStripe(const VectorClock& through, int start,
                   StampRef{r.rec->diffed, static_cast<std::uint32_t>(r.di)},
                   std::move(b.stamps)});
               c.last_seq = r.rec->seq;
+              // Virgin-store bodies are adopted by fault paths with no
+              // synchronization point to flag them at, so the store's
+              // header stays permanently "shared" (every copy inherits
+              // the flag; a later store extension clones first).
+              c.body_shared = true;
             } else {
               FlattenedChain c;
               c.writer = w;
@@ -1387,20 +1412,26 @@ void Node::GcFlattenStripe(const VectorClock& through, int start,
         // twin before the build, so only entries the build touched need
         // copying — long-lived chain lists on never-faulting nodes would
         // otherwise pay a full refcount round per chain per pass.
-        const std::vector<FlattenedChain>& built =
+        // Non-const: adopting flags the builder's merged bodies as shared
+        // (safe — one worker owns every node of this unit, see above), so
+        // the builder's own next extension copy-on-writes instead of
+        // mutating a body this node now also holds.
+        std::vector<FlattenedChain>& built =
             shared.nodes[hit->second]->flattened_[u];
         std::vector<FlattenedChain>& mine = node.flattened_[u];
         DSM_CHECK_GE(built.size(), mine.size());
         for (std::size_t i = 0; i < mine.size(); ++i) {
-          const FlattenedChain& b = built[i];
+          FlattenedChain& b = built[i];
           FlattenedChain& m = mine[i];
           if (m.rec.get() != b.rec.get() || m.body.get() != b.body.get() ||
               m.blocked != b.blocked || m.last_seq != b.last_seq) {
+            if (b.body != nullptr) b.body_shared = true;
             m = b;
             ++chains_shared;
           }
         }
         for (std::size_t i = mine.size(); i < built.size(); ++i) {
+          if (built[i].body != nullptr) built[i].body_shared = true;
           mine.push_back(built[i]);
           ++chains_shared;
         }
@@ -1669,9 +1700,14 @@ void Node::Barrier() {
   if (!protocol_enabled()) {
     // Reference backend: pure rendezvous.  Clocks still reconcile to the
     // slowest arrival (that is how a barrier behaves on any machine), but
-    // no notices move and no communication is modelled.
+    // no notices move and no communication is modelled.  The race
+    // detector brackets the rendezvous like any backend's barrier: vc_
+    // is never maintained here, which is exactly why the detector keeps
+    // its own clocks.
+    if (race_ != nullptr) race_->OnBarrierArrive(id_);
     BarrierService::Result res =
         shared_.barrier->Arrive(id_, vc_, clock_.now(), 0);
+    if (race_ != nullptr) race_->OnBarrierDepart(id_);
     clock_.AdvanceTo(res.base_time);
     return;
   }
@@ -1687,9 +1723,16 @@ void Node::Barrier() {
   // sync_phase_; the barrier service cross-checks the agreement.
   const ProcId coord = shared_.CoordinatorFor(sync_phase_);
 
+  // Race-detector barrier bracket (observational; DESIGN.md §10): merge
+  // this node's detector clock into the generation on arrival, adopt the
+  // fully merged clock once the real barrier releases us.  Both sides
+  // fire before any crash-recovery point of this barrier, so a rebuilt
+  // victim continues with ordering already settled.
+  if (race_ != nullptr) race_->OnBarrierArrive(id_);
   BarrierService::Result res = shared_.barrier->Arrive(
       id_, vc_, clock_.now(), arrival_bytes, hlrc_ ? &notices_seen_ : nullptr,
       coord);
+  if (race_ != nullptr) race_->OnBarrierDepart(id_);
 
   // Extended barrier window: every processor is now inside the barrier,
   // so no diff request is in flight anywhere.  Drain the request flags
@@ -1860,6 +1903,9 @@ void Node::AcquireLock(int lock_id) {
     // Reference backend: mutual exclusion only.  The grant cannot arrive
     // before the previous holder released.
     LockService::Grant grant = shared_.locks->Acquire(lock_id, id_);
+    if (race_ != nullptr) {
+      race_->OnLockAcquire(id_, lock_id, grant.cached, grant.chain_pos);
+    }
     clock_.AdvanceTo(grant.release_time);
     return;
   }
@@ -1868,6 +1914,11 @@ void Node::AcquireLock(int lock_id) {
   // Read interest feeds the LRC archive GC only (no archive under HLRC).
   if (!hlrc_) tracker_.EnableInterest();
   LockService::Grant grant = shared_.locks->Acquire(lock_id, id_);
+  // Detector acquire (before the cached early-out: a cached re-acquire
+  // still tracks the held set; a transfer merges the lock's clock).
+  if (race_ != nullptr) {
+    race_->OnLockAcquire(id_, lock_id, grant.cached, grant.chain_pos);
+  }
   if (grant.cached) {
     // Token already local: no communication, constant local cost.
     clock_.Advance(2 * kNanosPerMicro);
@@ -1914,6 +1965,9 @@ void Node::AcquireLock(int lock_id) {
 void Node::ReleaseLock(int lock_id) {
   if (num_procs() == 1) return;
   CloseInterval(/*lock_release=*/true);  // no-op when the protocol is off
+  // Detector release strictly before the service release: the next
+  // grantee's acquire hook must find this release's clock on the lock.
+  if (race_ != nullptr) race_->OnLockRelease(id_, lock_id);
   shared_.locks->Release(lock_id, id_, vc_, clock_.now());
 }
 

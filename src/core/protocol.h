@@ -47,8 +47,9 @@
 namespace dsm {
 
 class Node;
-class FaultInjector;       // core/fault.h
+class FaultInjector;        // core/fault.h
 class RecoveryCoordinator;  // core/fault.h
+class RaceDetector;         // analysis/race_detector.h
 
 // Everything shared between nodes; owned by Runtime.
 struct SharedState {
@@ -111,6 +112,10 @@ struct SharedState {
   // seed when negative) lives in the injector AND is written back into
   // `config.fault` at construction.
   std::unique_ptr<FaultInjector> fault;
+  // Happens-before race detection (DESIGN.md §10): null unless
+  // config.race_check.  Observational only — nodes feed it access and
+  // synchronization events; it never touches modelled state.
+  std::unique_ptr<RaceDetector> race;
   // Checkpoint watermark: the flatten target (`gc_through`) of the last
   // completed GC apply — every interval at or below it is fully
   // represented in the canonical bases.  Written by proc 0 inside the GC
@@ -274,6 +279,11 @@ class Node {
   void ReadBytesSlow(GlobalAddr addr, void* out, std::size_t bytes);
   void WriteBytesSlow(GlobalAddr addr, const void* in, std::size_t bytes);
 
+  // Race-detector feed (out of line so the inline access paths pay one
+  // null test and nothing else when the checker is off).
+  void RaceOnAccess(UnitId unit, std::size_t offset_in_unit,
+                    std::size_t bytes, bool is_write);
+
   void ReadFault(UnitId unit);
   void WriteFault(UnitId unit);
 
@@ -406,6 +416,9 @@ class Node {
   // Per-word cost of a shared access, cached off the config for the
   // fast path.
   const VirtualNanos shared_access_cost_;
+  // Cached shared_.race.get(): null unless config.race_check, so the
+  // access fast paths gate the observational feed on one pointer test.
+  RaceDetector* const race_;
 
   std::unique_ptr<std::byte[]> image_;  // private image (LRC; null for ref)
   std::byte* data_;                     // accesses go here (image_ or shared)
@@ -543,6 +556,9 @@ inline void Node::ReadBytes(GlobalAddr addr, void* out, std::size_t bytes) {
                       static_cast<std::uint32_t>(bytes / kWordBytes),
                       [this](std::uint32_t msg) { comm_stats_.Credit(msg); });
     }
+    if (race_ != nullptr) [[unlikely]] {
+      RaceOnAccess(unit, offset_in_unit, bytes, /*is_write=*/false);
+    }
     std::memcpy(out, data_ + addr, bytes);
     clock_.Advance(static_cast<VirtualNanos>(bytes / kWordBytes) *
                    shared_access_cost_);
@@ -569,6 +585,9 @@ inline void Node::WriteBytes(GlobalAddr addr, const void* in,
           std::memcmp(data_ + addr, in, bytes) != 0) {
         twin_dirty_[unit] = 1;
       }
+    }
+    if (race_ != nullptr) [[unlikely]] {
+      RaceOnAccess(unit, offset_in_unit, bytes, /*is_write=*/true);
     }
     std::memcpy(data_ + addr, in, bytes);
     clock_.Advance(static_cast<VirtualNanos>(bytes / kWordBytes) *

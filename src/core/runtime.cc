@@ -17,6 +17,7 @@ std::string RunStats::ToString() const {
         << recovery_modelled_ns << " ns, host " << recovery_wall_ns
         << " ns\n";
   }
+  if (races.checked) out << races.ToString();
   out << comm.ToString();
   out << "network:\n" << net.ToString();
   return out.str();
@@ -87,6 +88,7 @@ RunStats Runtime::CollectStats() const {
     stats.recovery_modelled_ns = shared_.fault->recovery_modelled_ns();
     stats.recovery_wall_ns = shared_.fault->recovery_wall_ns();
   }
+  if (shared_.race != nullptr) stats.races = shared_.race->Collect();
   return stats;
 }
 

@@ -24,6 +24,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "analysis/race_detector.h"
 #include "core/protocol.h"
 
 namespace dsm {
@@ -137,6 +138,12 @@ struct RunStats {
   int recovery_events = 0;
   VirtualNanos recovery_modelled_ns = 0;
   std::uint64_t recovery_wall_ns = 0;
+  // Happens-before race detection (DESIGN.md §10): deduplicated reports
+  // in deterministic order.  Default (races.checked == false — and absent
+  // from ToString) unless RuntimeConfig::race_check was on.  Host-side
+  // observability like `mem`: excluded from fingerprints and modelled
+  // equivalence checks.
+  RaceStats races;
 
   double exec_seconds() const {
     return static_cast<double>(exec_time) /
