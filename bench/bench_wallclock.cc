@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "apps/kvstore.h"
 #include "apps/registry.h"
 
 namespace dsm::bench {
@@ -170,6 +171,12 @@ struct Row {
   double recovery_ms = 0;
   std::uint64_t recovery_bytes = 0;
   std::uint64_t recovery_retransmits = 0;
+  // KV rows only: modelled request count and throughput
+  // (requests / modelled execution time).  Derived from modelled numbers
+  // but — like the mem telemetry — excluded from the fingerprint: KV is
+  // lock-scheduled, so its modelled time is not bit-stable anyway.
+  std::uint64_t kv_requests = 0;
+  double kv_rps = 0;
   MemoryFootprint mem;
 };
 
@@ -179,15 +186,18 @@ void Usage(std::FILE* f) {
       "usage: bench_wallclock [--procs=N[,N...]] [--gc=N] [--app=SUBSTR]\n"
       "                       [--mode=SUBSTR] [--backend=LRC|HLRC]\n"
       "                       [--fault=EVENT[+EVENT...]|seed:S]\n"
-      "                       [--fault-sweep] [--race=on|off] [--out=PATH] "
-      "[--baseline=PATH]\n"
+      "                       [--fault-sweep] [--kv-sweep] [--race=on|off] "
+      "[--out=PATH] [--baseline=PATH]\n"
       "  EVENT is barrier:V@N (kill proc V at its N-th barrier) or\n"
       "  release:V@M (kill proc V after its M-th interval close); '+'\n"
       "  chains events into an ordered multi-fault schedule.  Any victim\n"
       "  is legal, proc 0 included.  seed:S derives the whole schedule\n"
       "  from the 64-bit seed S.  --fault-sweep runs the recovery-cost\n"
       "  slice: a proc-0 + home-crash schedule across gc_lag_barriers\n"
-      "  in {1,2,4,8} on both backends.  --race=on runs the sweep under\n"
+      "  in {1,2,4,8} on both backends.  --kv-sweep runs the KV request\n"
+      "  slice: the three KV mixes (read-mostly / write-heavy / hot, each\n"
+      "  >= 1M modelled requests) on both backends, reporting modelled\n"
+      "  requests/sec per row.  --race=on runs the sweep under\n"
       "  the happens-before race checker (DESIGN.md §10): host wall-clock\n"
       "  pays for the shadow analysis, modelled numbers and fingerprints\n"
       "  are bit-identical to --race=off.\n");
@@ -333,6 +343,13 @@ Row RunCell(const BenchScenario& s, const ModePoint& mode,
   row.recovery_retransmits = run.stats.comm.recovery_retransmits;
   row.race_checked = run.stats.races.checked;
   row.races = run.stats.races.reports.size() + run.stats.races.dropped;
+  if (const auto* kv = dynamic_cast<const apps::KvStore*>(app.get())) {
+    row.kv_requests = kv->ModelledRequests(num_procs);
+    const double modelled_s = run.stats.exec_seconds();
+    if (modelled_s > 0) {
+      row.kv_rps = static_cast<double>(row.kv_requests) / modelled_s;
+    }
+  }
   row.mem = run.stats.mem;
   return row;
 }
@@ -346,6 +363,11 @@ struct BaselineRow {
   int gc_lag = 0;  // absent outside fault-sweep rows → 0
   bool stable = false;
   double wall_ms = 0;
+  // Result checksum, %.17g-round-tripped (exact for doubles).  KV rows
+  // gate on this instead of wall-clock: their host time is lock-schedule
+  // noisy, but the commuting checksum must never move.
+  double result = 0;
+  bool has_result = false;
 };
 
 std::vector<BaselineRow> ReadBaseline(const std::string& path) {
@@ -383,6 +405,11 @@ std::vector<BaselineRow> ReadBaseline(const std::string& path) {
     r.stable = std::strstr(line, "\"stable\": true") != nullptr;
     const char* w = std::strstr(line, "\"wall_ms\": ");
     if (w != nullptr) r.wall_ms = std::atof(w + 11);
+    const char* res = std::strstr(line, "\"result\": ");
+    if (res != nullptr) {
+      r.result = std::atof(res + 10);
+      r.has_result = true;
+    }
     if (!r.app.empty()) rows.push_back(std::move(r));
   }
   std::fclose(f);
@@ -392,7 +419,11 @@ std::vector<BaselineRow> ReadBaseline(const std::string& path) {
 // Gate: every stable row's host wall-clock must stay within
 // `tolerance` (fractional) of the committed baseline.  Unstable rows
 // (lock programs) and rows missing from the baseline are reported but
-// never gate.  Returns the number of regressions.
+// never gate on wall-clock — but KV rows gate on their CHECKSUM instead:
+// the commuting-checksum construction makes the result exact under any
+// lock schedule, so a moved KV result is a correctness regression even
+// though the row's host time is free to drift.  Returns the number of
+// regressions.
 int CompareToBaseline(const std::vector<Row>& rows,
                       const std::vector<BaselineRow>& baseline,
                       double tolerance) {
@@ -411,6 +442,15 @@ int CompareToBaseline(const std::vector<Row>& rows,
       std::printf("baseline: %s/%s/%s/%s/p%d not in baseline (new row?)\n",
                   r.app.c_str(), r.dataset.c_str(), r.mode.c_str(),
                   r.backend.c_str(), r.procs);
+      continue;
+    }
+    if (r.app == "KV" && base->has_result && r.result != base->result) {
+      ++regressions;
+      std::printf(
+          "baseline: %-8s %-10s %-4s %-4s p%-3d checksum %.17g -> %.17g"
+          "  CHECKSUM REGRESSION\n",
+          r.app.c_str(), r.dataset.c_str(), r.mode.c_str(),
+          r.backend.c_str(), r.procs, base->result, r.result);
       continue;
     }
     const double ratio = base->wall_ms > 0 ? r.wall_ms / base->wall_ms : 1.0;
@@ -473,6 +513,16 @@ void WriteJson(const std::vector<Row>& rows, const std::string& path) {
                     static_cast<unsigned long long>(r.recovery_retransmits));
       fault_field += buf;
     }
+    // KV request-throughput axis, same zero-entry skip rule: non-KV rows
+    // are byte-identical to a build without the column.
+    if (r.kv_requests > 0) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "\"requests\": %llu, "
+                    "\"modelled_requests_per_sec\": %.3f, ",
+                    static_cast<unsigned long long>(r.kv_requests), r.kv_rps);
+      fault_field += buf;
+    }
     std::fprintf(
         f,
         "    {\"app\": \"%s\", \"dataset\": \"%s\", \"mode\": "
@@ -519,6 +569,7 @@ int main(int argc, char** argv) {
   std::string app_filter, mode_filter, backend_filter, baseline_path;
   FaultSpec fault_spec;  // inert unless --fault= is given
   bool fault_sweep_only = false;
+  bool kv_sweep_only = false;
   bool race_check = false;
   bool explicit_out = false;
   for (int i = 1; i < argc; ++i) {
@@ -553,6 +604,8 @@ int main(int argc, char** argv) {
       fault_spec = ParseFaultSpec(argv[i] + 8);
     } else if (std::strcmp(argv[i], "--fault-sweep") == 0) {
       fault_sweep_only = true;
+    } else if (std::strcmp(argv[i], "--kv-sweep") == 0) {
+      kv_sweep_only = true;
     } else if (std::strncmp(argv[i], "--race=", 7) == 0) {
       race_check = ParseRaceFlag(argv[i] + 7);
     } else {
@@ -597,6 +650,11 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(row.recovery_bytes),
                   static_cast<unsigned long long>(row.recovery_retransmits));
     }
+    if (row.kv_requests > 0) {
+      std::printf("  req=%llu modelled_req/s=%.0f",
+                  static_cast<unsigned long long>(row.kv_requests),
+                  row.kv_rps);
+    }
     std::printf("\n");
     rows.push_back(std::move(row));
   };
@@ -618,8 +676,28 @@ int main(int argc, char** argv) {
       }
     }
   };
-  if (fault_sweep_only) {
-    run_fault_sweep();
+  // KV request slice (ROADMAP "serve real traffic"): the three bench
+  // mixes — each >= 1M modelled requests at the default 8 processors —
+  // on both protocol backends at the 4 K base unit, reporting modelled
+  // requests/sec.  Rows are unstable (lock-scheduled wall-clock and
+  // modelled time) but their checksums are pinned by the --baseline
+  // gate: the commuting-checksum result must never move.  Rides the full
+  // default sweep; --kv-sweep runs just this slice.
+  auto run_kv_sweep = [&]() {
+    const BenchScenario kKvMixes[] = {
+        {"KV", "read-mostly", false},
+        {"KV", "write-heavy", false},
+        {"KV", "hot", false},
+    };
+    for (const BackendPoint& backend : kBackends) {
+      for (const BenchScenario& s : kKvMixes) {
+        run_and_print(s, kModes[0], backend, 8, FaultSpec{});
+      }
+    }
+  };
+  if (fault_sweep_only || kv_sweep_only) {
+    if (fault_sweep_only) run_fault_sweep();
+    if (kv_sweep_only) run_kv_sweep();
   } else {
     for (const BackendPoint& backend : kBackends) {
       if (!backend_filter.empty() && backend_filter != backend.label) {
@@ -645,7 +723,7 @@ int main(int argc, char** argv) {
   const bool partial = !app_filter.empty() || !mode_filter.empty() ||
                        !backend_filter.empty() || !default_procs ||
                        !fault_spec.label.empty() || fault_sweep_only ||
-                       race_check ||
+                       kv_sweep_only || race_check ||
                        gc_interval !=
                            dsm::RuntimeConfig{}.gc_interval_barriers;
   // Cluster-scaling trajectory (DESIGN.md §8): the full default sweep also
@@ -677,6 +755,10 @@ int main(int argc, char** argv) {
     // default sweep too, so its recovery_ms / recovery_bytes rows are
     // tracked in the committed baseline.
     run_fault_sweep();
+    // Request-throughput axis: the KV mixes ride the default sweep so
+    // their modelled_requests_per_sec trajectory and pinned checksums
+    // are tracked in the committed baseline.
+    run_kv_sweep();
   }
   // Read the baseline BEFORE writing results (--out may point at the
   // same file; CI reuses the committed baseline path for the artifact),

@@ -1,6 +1,7 @@
 // Application framework: the common harness for the paper's 8-program
-// suite (§5.2).  Every application implements Application; benches and
-// tests drive any app at any consistency-unit configuration through
+// suite (§5.2) and the repo-local additions (Fuzz, the KV request
+// workload, Life).  Every application implements Application; benches
+// and tests drive any app at any consistency-unit configuration through
 // Execute().
 #pragma once
 

@@ -1,0 +1,280 @@
+#include "apps/kvstore.h"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace dsm::apps {
+namespace {
+
+// Integer-only hashing and Zipf weights: the request streams must be
+// bit-identical across toolchains (the golden checksum depends on them),
+// and libm's pow() is not — so the skew exponent is a small integer and
+// every derived quantity is computed in 64-bit integer arithmetic.
+constexpr std::uint64_t kZipfScale = 1ull << 40;
+
+std::uint64_t Mix64(std::uint64_t x) { return SplitMix64(x).Next(); }
+
+// Popularity rank -> key id: a bijection over the power-of-two keyspace
+// (odd multiplier), so the hottest ranks land on unrelated keys — and,
+// through the shard hash below, on unrelated shards.
+std::size_t KeyOfRank(std::size_t rank, std::size_t num_keys) {
+  return (rank * 0x9E3779B9ull) & (num_keys - 1);
+}
+
+}  // namespace
+
+KvParams KvDataset(const std::string& label) {
+  // Sizes: num_keys and num_shards are powers of two (the layout hashes
+  // mask, not mod).  The table spans several 16 KB units even at "tiny"
+  // so static aggregation has something to aggregate; the bench mixes
+  // drive >= 1M requests at the default 8 processors
+  // (8 × phases × ops_per_phase >= 1'048'576).
+  if (label == "tiny") {
+    return {"tiny", 4096, 16, 6, 400, 70, 10, 8, 1, 0x5eedcafeull};
+  }
+  if (label == "read-mostly") {
+    return {"read-mostly", 65536, 64, 16, 8192, 95, 10, 16, 1,
+            0x5eedcaffull};
+  }
+  if (label == "write-heavy") {
+    return {"write-heavy", 65536, 64, 16, 8192, 25, 10, 16, 1,
+            0x5eedcb00ull};
+  }
+  if (label == "hot") {
+    // Hot-key contention: 60% of requests hammer the 16 hottest ranks,
+    // and the sharper integer exponent concentrates the Zipf tail too —
+    // a handful of shard locks carry most of the traffic.
+    return {"hot", 65536, 64, 16, 8192, 50, 60, 16, 2, 0x5eedcb01ull};
+  }
+  DSM_CHECK(false) << "unknown KV dataset " << label;
+  return {};
+}
+
+KvStore::KvStore(KvParams params) : params_(std::move(params)) {
+  DSM_CHECK_GT(params_.num_keys, 0u);
+  DSM_CHECK((params_.num_keys & (params_.num_keys - 1)) == 0)
+      << "num_keys must be a power of two";
+  DSM_CHECK_GT(params_.num_shards, 0);
+  DSM_CHECK((params_.num_shards & (params_.num_shards - 1)) == 0)
+      << "num_shards must be a power of two";
+  DSM_CHECK(params_.zipf_exp == 1 || params_.zipf_exp == 2);
+
+  // Deterministic layout, computed identically by every Runtime that
+  // instantiates this dataset: keys are inserted in ascending id order
+  // into their hashed shard with linear probing.  No run-time insertion
+  // means no schedule-dependent probe chains.
+  const std::size_t nkeys = params_.num_keys;
+  const auto nshards = static_cast<std::size_t>(params_.num_shards);
+  const std::size_t cap = shard_capacity();
+  std::vector<std::uint8_t> used(nshards * cap, 0);
+  slot_of_key_.resize(nkeys);
+  for (std::size_t key = 0; key < nkeys; ++key) {
+    const std::size_t shard =
+        Mix64(params_.seed ^ (key * 0xA24BAED4963EE407ull)) & (nshards - 1);
+    std::size_t slot = Mix64((params_.seed * 3) ^ key) & (cap - 1);
+    std::size_t probes = 0;
+    while (used[shard * cap + slot] != 0) {
+      slot = (slot + 1) & (cap - 1);
+      probes += 1;
+      DSM_CHECK_LT(probes, cap) << "shard " << shard << " overflow";
+    }
+    used[shard * cap + slot] = 1;
+    slot_of_key_[key] = static_cast<std::uint32_t>(shard * cap + slot);
+  }
+
+  // Integer Zipf cumulative weights over popularity ranks.
+  zipf_cum_.resize(nkeys);
+  std::uint64_t cum = 0;
+  for (std::size_t r = 0; r < nkeys; ++r) {
+    const std::uint64_t denom =
+        params_.zipf_exp == 1 ? r + 1 : (r + 1) * (r + 1);
+    cum += std::max<std::uint64_t>(kZipfScale / denom, 1);
+    zipf_cum_[r] = cum;
+  }
+}
+
+std::size_t KvStore::shard_capacity() const {
+  // Load factor 1/2 keeps linear probe chains short; power of two so the
+  // home-slot hash masks.
+  return 2 * params_.num_keys / static_cast<std::size_t>(params_.num_shards);
+}
+
+std::size_t KvStore::heap_bytes() const {
+  const std::size_t table_bytes = static_cast<std::size_t>(params_.num_shards) *
+                                  shard_capacity() * 2 * sizeof(std::int32_t);
+  return table_bytes + (96u << 10);
+}
+
+std::uint64_t KvStore::ModelledRequests(int num_procs) const {
+  return static_cast<std::uint64_t>(num_procs) *
+         static_cast<std::uint64_t>(params_.phases) *
+         static_cast<std::uint64_t>(params_.ops_per_phase);
+}
+
+void KvStore::Setup(Runtime& rt) {
+  table_ = rt.AllocUnitAligned<std::int32_t>(
+      static_cast<std::size_t>(params_.num_shards) * shard_capacity() * 2,
+      "kv_table");
+  reducer_.Setup(rt, "kv_sum");
+}
+
+void KvStore::Body(Proc& p) {
+  const auto nprocs = static_cast<std::size_t>(p.nprocs());
+  const auto id = static_cast<std::size_t>(p.id());
+  const std::size_t cap = shard_capacity();
+
+  // Load phase: keys are partitioned over processors for initialization;
+  // each slot has exactly one writer before the barrier, so no locks are
+  // needed and the phase is race-free by ownership.
+  for (std::size_t key = id; key < params_.num_keys; key += nprocs) {
+    const std::size_t slot = slot_of_key_[key];
+    p.Write(table_, 2 * slot, static_cast<std::int32_t>(key + 1));
+    p.Write(table_, 2 * slot + 1,
+            static_cast<std::int32_t>((key * 2654435761ull) % 1021));
+  }
+  p.Barrier();
+
+  Xoshiro256 rng(params_.seed ^ (0x9e3779b97f4a7c15ull * (id + 1)));
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::int64_t get_sink = 0;  // schedule-dependent; never in the checksum
+  std::uint64_t op_index = 0;
+
+  for (int phase = 0; phase < params_.phases; ++phase) {
+    PhaseStart(p, phase);
+    for (int op = 0; op < params_.ops_per_phase; ++op, ++op_index) {
+      // Pick the key: hot-set hit or a Zipf sample over all ranks.
+      std::size_t rank;
+      if (rng.UniformInt(100) <
+          static_cast<std::uint64_t>(params_.hot_percent)) {
+        rank = rng.UniformInt(static_cast<std::uint64_t>(params_.hot_ranks));
+      } else {
+        const std::uint64_t u = rng.UniformInt(zipf_cum_.back());
+        rank = static_cast<std::size_t>(
+            std::upper_bound(zipf_cum_.begin(), zipf_cum_.end(), u) -
+            zipf_cum_.begin());
+      }
+      const std::size_t slot = slot_of_key_[KeyOfRank(rank, params_.num_keys)];
+      const auto shard = static_cast<int>(slot / cap);
+
+      if (rng.UniformInt(100) <
+          static_cast<std::uint64_t>(params_.read_percent)) {
+        // GET: the value word is only ever written under the shard lock,
+        // so the read must hold it too — an unlocked fast path here is
+        // precisely the bug RacyKv plants for the detector.
+        p.Lock(shard);
+        get_sink += p.Read(table_, 2 * slot + 1);
+        p.Unlock(shard);
+        gets += 1;
+      } else {
+        // UPDATE: additive read-modify-write; the delta depends only on
+        // this proc's op ordinal, so the sum of all applied deltas — and
+        // with it every final value word — commutes across schedules.
+        const auto delta = static_cast<std::int32_t>(op_index % 7 + 1);
+        p.Lock(shard);
+        const std::int32_t v = p.Read(table_, 2 * slot + 1);
+        p.Write(table_, 2 * slot + 1, v + delta);
+        p.Unlock(shard);
+        puts += 1;
+      }
+      p.Compute(24);  // modelled per-request service work
+    }
+    p.Barrier();
+  }
+  (void)get_sink;
+
+  // Per-proc op tallies: pure functions of the seeded stream, identical
+  // under any lock schedule.
+  reducer_.Contribute(
+      p, static_cast<double>(3 * gets) + static_cast<double>(5 * puts));
+  p.Barrier();
+
+  // Every processor folds the final table (key tags + values; all-integer
+  // and schedule-independent after the last barrier) with the tallies.
+  double table_sum = 0.0;
+  const std::size_t words =
+      static_cast<std::size_t>(params_.num_shards) * cap * 2;
+  for (std::size_t w = 0; w < words; ++w) {
+    table_sum += static_cast<double>(p.Read(table_, w));
+  }
+  p.Compute(words);
+  const double total = table_sum + reducer_.Sum(p);
+  if (p.id() == 0) result_ = total;
+}
+
+// --- RacyKv ------------------------------------------------------------------
+
+RacyKv::RacyKv(KvParams params) : KvStore(std::move(params)) {
+  DSM_CHECK_GT(params_.phases, 0);
+}
+
+std::size_t RacyKv::heap_bytes() const {
+  return KvStore::heap_bytes() + (32u << 10);
+}
+
+void RacyKv::Setup(Runtime& rt) {
+  KvStore::Setup(rt);
+  racy_ = rt.AllocUnitAligned<std::int32_t>(
+      static_cast<std::size_t>(params_.phases), "kv_racy_stats");
+}
+
+void RacyKv::PhaseStart(Proc& p, int phase) {
+  // The planted bug: a per-phase stats word updated outside any shard
+  // lock.  wp writes it, rp touches it, and since the last barrier
+  // neither has synchronized with the other — unordered no matter how
+  // the host schedules the two.  Values are discarded (p.Read still
+  // drives the protocol), so the checksum never sees them.
+  const auto nprocs = static_cast<std::size_t>(p.nprocs());
+  const auto id = static_cast<std::size_t>(p.id());
+  const auto wp = static_cast<std::size_t>(phase) % nprocs;
+  const auto rp = (static_cast<std::size_t>(phase) + 1) % nprocs;
+  if (id == wp) {
+    p.Write(racy_, static_cast<std::size_t>(phase),
+            static_cast<std::int32_t>(phase + 1));
+  }
+  if (id == rp && rp != wp) {
+    if (phase % 2 == 0) {
+      (void)p.Read(racy_, static_cast<std::size_t>(phase));
+    } else {
+      p.Write(racy_, static_cast<std::size_t>(phase),
+              static_cast<std::int32_t>(phase + 101));
+    }
+  }
+}
+
+std::vector<RaceReport> RacyKv::ExpectedRaces(int num_procs,
+                                              std::size_t unit_bytes) const {
+  std::vector<RaceReport> out;
+  if (num_procs < 2) return out;
+  for (int k = 0; k < params_.phases; ++k) {
+    const GlobalAddr addr = racy_.addr_of(static_cast<std::size_t>(k));
+    // Request phase k runs after k + 1 barrier departures (the load
+    // phase's barrier precedes phase 0), and both planted accesses happen
+    // before any lock acquire of the phase, so the sub-phase is 0.
+    const auto phase = static_cast<std::uint32_t>(k + 1);
+    RaceSite a{static_cast<ProcId>(k % num_procs), /*is_write=*/true, phase,
+               0};
+    RaceSite b{static_cast<ProcId>((k + 1) % num_procs),
+               /*is_write=*/k % 2 != 0, phase, 0};
+    // Same normalization as RaceDetector::Report: (proc, kind) order.
+    if (std::tuple(b.proc, b.is_write) < std::tuple(a.proc, a.is_write)) {
+      std::swap(a, b);
+    }
+    out.push_back(RaceReport{
+        static_cast<UnitId>(addr / unit_bytes),
+        static_cast<std::uint32_t>((addr % unit_bytes) / kWordBytes), a, b});
+  }
+  // Same order as RaceDetector::Collect.
+  std::sort(out.begin(), out.end(),
+            [](const RaceReport& x, const RaceReport& y) {
+              return std::tuple(x.unit, x.word, x.first.proc, x.second.proc) <
+                     std::tuple(y.unit, y.word, y.first.proc, y.second.proc);
+            });
+  return out;
+}
+
+}  // namespace dsm::apps

@@ -1,0 +1,98 @@
+#include "apps/life.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace dsm::apps {
+
+LifeParams LifeDataset(const std::string& label) {
+  // "tiny" keeps the conformance cell cheap (a 64x64 soup crosses four
+  // 4 KB pages, so 16 K aggregation still has units to merge); "256x256"
+  // is a scaled board for local visualization runs.
+  if (label == "tiny") return {"tiny", 64, 64, 10, 35, 0x11febeefull};
+  if (label == "256x256") return {"256x256", 256, 256, 24, 35, 0x11febef0ull};
+  DSM_CHECK(false) << "unknown Life dataset " << label;
+  return {};
+}
+
+Life::Life(LifeParams params) : params_(std::move(params)) {
+  DSM_CHECK_GT(params_.rows, 2u);
+  DSM_CHECK_GT(params_.cols, 2u);
+}
+
+std::size_t Life::heap_bytes() const {
+  return 2 * params_.rows * params_.cols * sizeof(std::int32_t) + (64u << 10);
+}
+
+void Life::Setup(Runtime& rt) {
+  grid_[0] = rt.AllocUnitAligned<std::int32_t>(params_.rows * params_.cols,
+                                               "life_a");
+  grid_[1] = rt.AllocUnitAligned<std::int32_t>(params_.rows * params_.cols,
+                                               "life_b");
+  reducer_.Setup(rt, "life_sum");
+}
+
+void Life::Body(Proc& p) {
+  const std::size_t R = params_.rows;
+  const std::size_t C = params_.cols;
+  const Range band = BlockRange(R, p.nprocs(), p.id());
+  auto at = [&](std::size_t r, std::size_t c) { return r * C + c; };
+
+  // Owners seed their bands with a deterministic soup (pure function of
+  // the global seed and cell index, so any processor count produces the
+  // identical board).
+  for (std::size_t r = band.begin; r < band.end; ++r) {
+    for (std::size_t c = 0; c < C; ++c) {
+      const bool alive =
+          SplitMix64(params_.seed ^ (at(r, c) * 0x9E3779B97F4A7C15ull))
+                  .Next() %
+              100 <
+          static_cast<std::uint64_t>(params_.density_pct);
+      p.Write(grid_[0], at(r, c), alive ? 1 : 0);
+    }
+  }
+  p.Barrier();
+
+  int cur = 0;
+  for (int g = 0; g < params_.generations; ++g) {
+    const SharedArray<std::int32_t>& src = grid_[cur];
+    const SharedArray<std::int32_t>& dst = grid_[1 - cur];
+    for (std::size_t r = band.begin; r < band.end; ++r) {
+      for (std::size_t c = 0; c < C; ++c) {
+        std::int32_t n = 0;
+        for (std::size_t dr = r == 0 ? 1 : 0; dr <= (r + 1 < R ? 2u : 1u);
+             ++dr) {
+          for (std::size_t dc = c == 0 ? 1 : 0; dc <= (c + 1 < C ? 2u : 1u);
+               ++dc) {
+            if (dr == 1 && dc == 1) continue;
+            n += p.Read(src, at(r + dr - 1, c + dc - 1));
+          }
+        }
+        const std::int32_t self = p.Read(src, at(r, c));
+        p.Write(dst, at(r, c), (n == 3 || (self != 0 && n == 2)) ? 1 : 0);
+      }
+      p.Compute(9 * C);
+    }
+    p.Barrier();
+    cur = 1 - cur;
+  }
+
+  // Verification: population weighted by a position hash, so a board that
+  // is right only in aggregate (same count, wrong cells) still fails.
+  double local = 0.0;
+  for (std::size_t r = band.begin; r < band.end; ++r) {
+    for (std::size_t c = 0; c < C; ++c) {
+      local += static_cast<double>(p.Read(grid_[cur], at(r, c)) *
+                                   static_cast<std::int32_t>(at(r, c) % 97 + 1));
+    }
+  }
+  p.Compute(band.size() * C);
+  reducer_.Contribute(p, local);
+  p.Barrier();
+  const double total = reducer_.Sum(p);
+  if (p.id() == 0) result_ = total;
+}
+
+}  // namespace dsm::apps

@@ -1,0 +1,55 @@
+// Life: Conway's game of life on a row-band-partitioned grid — a second
+// stencil conformance app (alongside Jacobi) whose state is trivially
+// visualizable and whose integer update rule makes the checksum exact on
+// every backend.  Not from the paper's suite; ported as a cheap
+// conformance cell (ROADMAP "lighter companions").
+//
+// Double-buffered: generation g reads grid A (fully published before the
+// previous barrier) and writes the proc's own band of grid B, one
+// barrier per generation, roles swapping each time.  Only the band
+// boundary rows are actually shared — the same neighbour-row sharing
+// grain as Jacobi, at one int32 word per cell (no bit packing: adjacent
+// cells in a word would give one word two owning writers at the band
+// edge).  Edges are dead (no wraparound — the Shallow wraparound race
+// was found by the detector; Life keeps the stencil strictly local).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "apps/app_common.h"
+
+namespace dsm::apps {
+
+struct LifeParams {
+  std::string label;
+  std::size_t rows;
+  std::size_t cols;      // int32 cells; cols*4 bytes is the sharing grain
+  int generations;
+  int density_pct;       // seeded soup density, percent alive
+  std::uint64_t seed;
+};
+
+LifeParams LifeDataset(const std::string& label);  // "tiny", "256x256"
+
+class Life : public Application {
+ public:
+  explicit Life(LifeParams params);
+
+  const char* name() const override { return "Life"; }
+  std::string dataset() const override { return params_.label; }
+  std::size_t heap_bytes() const override;
+
+  void Setup(Runtime& rt) override;
+  void Body(Proc& p) override;
+  double result() const override { return result_; }
+
+ private:
+  LifeParams params_;
+  SharedArray<std::int32_t> grid_[2];  // double buffer
+  Reducer reducer_;
+  double result_ = 0.0;
+};
+
+}  // namespace dsm::apps

@@ -5,6 +5,8 @@
 #include "apps/fuzz.h"
 #include "apps/ilink.h"
 #include "apps/jacobi.h"
+#include "apps/kvstore.h"
+#include "apps/life.h"
 #include "apps/mgs.h"
 #include "apps/shallow.h"
 #include "apps/tsp.h"
@@ -29,6 +31,9 @@ std::unique_ptr<Application> MakeApp(const std::string& app,
   if (app == "RacyFuzz") {
     return std::make_unique<RacyFuzz>(FuzzDataset(dataset));
   }
+  if (app == "KV") return std::make_unique<KvStore>(KvDataset(dataset));
+  if (app == "RacyKv") return std::make_unique<RacyKv>(KvDataset(dataset));
+  if (app == "Life") return std::make_unique<Life>(LifeDataset(dataset));
   DSM_CHECK(false) << "unknown application " << app;
   return nullptr;
 }
@@ -80,6 +85,14 @@ std::vector<ConformanceScenario> ConformanceScenarios() {
       // (commuting integer sums → rel_tol 0) but lock-scheduled
       // statistics.  Golden recorded from the reference backend.
       {"Fuzz", "tiny", 4, 547927.0, 0.0, false},
+      // Partitioned key-value store (src/apps/kvstore.cc): request-shaped
+      // lock-sharded traffic.  Checksum exact by construction (additive
+      // updates + per-proc tallies, DESIGN.md §11) but, like every lock
+      // app, the modelled state follows the host's grant order.
+      {"KV", "tiny", 4, 10525358.0, 0.0, false},
+      // Game of life (src/apps/life.cc): barrier-only integer stencil,
+      // bit-deterministic everywhere.
+      {"Life", "tiny", 4, 43872.0, 0.0, true},
   };
 }
 

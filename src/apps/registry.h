@@ -25,10 +25,11 @@ std::vector<AppSpec> Figure2Specs();  // Jacobi, 3D-FFT, MGS, Shallow × sizes
 std::vector<AppSpec> AllSpecs();      // the union, Table 1 order
 
 // --- cross-backend conformance sweep ---------------------------------------
-// One row per application: a seeded, test-sized input plus the golden
-// checksum its result() must reproduce at `num_procs` processors under
-// every (backend × aggregation) cell of the conformance sweep
-// (tests/test_conformance.cc).
+// One row per application — the paper's 8-program suite plus the
+// repo-local additions (Fuzz, KV, Life): a seeded, test-sized input plus
+// the golden checksum its result() must reproduce at `num_procs`
+// processors under every (backend × aggregation) cell of the conformance
+// sweep (tests/test_conformance.cc).
 struct ConformanceScenario {
   std::string app;
   std::string dataset;  // deterministic (seeded) test-sized input
@@ -40,6 +41,15 @@ struct ConformanceScenario {
   // bit-deterministic at fixed num_procs, so every cell must produce the
   // identical bits.  >0 → scheduling-dependent floating-point accumulation
   // (e.g. force sums under locks); cells agree only within this error.
+  //
+  // A lock-synchronized app can still earn rel_tol 0 by building its
+  // checksum exclusively from commuting, per-proc-deterministic parts
+  // (DESIGN.md §11): shared updates that are additive integer
+  // read-modify-writes (the applied-delta sum commutes across any grant
+  // order), per-proc tallies that are pure functions of the proc's own
+  // seeded stream, and a final whole-state fold taken after the last
+  // barrier.  Values READ mid-stream under a lock are schedule-dependent
+  // and must never feed the checksum.  Fuzz and KV follow this recipe.
   double rel_tol;
   // True iff the app's full modelled state (times, comm statistics) is
   // bit-reproducible at a fixed configuration.  False for any app that

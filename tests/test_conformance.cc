@@ -206,10 +206,11 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(ConformanceCatalogue, CoversTheSweepFloor) {
-  // The harness promises ≥ 9 apps × 3 aggregation configs × 3 backends
+  // The harness promises ≥ 11 apps × 3 aggregation configs × 3 backends
   // (3 aggregation cells per backend when DSM_BACKEND restricts the
-  // sweep to one).
-  EXPECT_GE(ConformanceScenarios().size(), 9u);
+  // sweep to one): the paper's 8, Fuzz, plus the KV request workload and
+  // the Life stencil.
+  EXPECT_GE(ConformanceScenarios().size(), 11u);
   EXPECT_EQ(SweepCells().size(), 3u * SweepBackends().size());
 }
 
